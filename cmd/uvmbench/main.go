@@ -1,0 +1,249 @@
+// Command uvmbench regenerates the paper's tables and figures on the
+// simulated CPU-GPU system. Each subcommand corresponds to one artifact
+// of the evaluation:
+//
+//	uvmbench table3            input-size parameter table
+//	uvmbench fig4              micro exec-time distributions across sizes
+//	uvmbench fig5              std/mean across sizes
+//	uvmbench fig6              per-run breakdowns at Mega (memcpy noise)
+//	uvmbench fig7              micro five-setup comparison (Large+Super)
+//	uvmbench fig8              application five-setup comparison (Super)
+//	uvmbench fig9              instruction-mix counters (gemm/lud/yolov3)
+//	uvmbench fig10             L1 miss-rate counters (gemm/lud/yolov3)
+//	uvmbench fig11             block-count sensitivity sweep
+//	uvmbench fig12             threads-per-block sensitivity sweep
+//	uvmbench fig13             L1/shared partition sensitivity sweep
+//	uvmbench fig14             inter-job pipeline model (§6)
+//	uvmbench micro|apps        §4.1 geomean summaries
+//	uvmbench list              workload inventory
+//	uvmbench all               everything above
+//
+// Flags: -i iterations (default 30), -seed, -size (overrides the default
+// class where applicable).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvmasim/internal/core"
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "uvmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("uvmbench", flag.ContinueOnError)
+	iters := fs.Int("i", core.DefaultIterations, "iterations per configuration")
+	seed := fs.Int64("seed", 1, "base random seed")
+	sizeName := fs.String("size", "", "override input-size class (tiny..mega)")
+	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand (try: uvmbench all)")
+	}
+
+	r := core.NewRunner()
+	r.Iterations = *iters
+	r.BaseSeed = *seed
+
+	sizeOr := func(def workloads.Size) (workloads.Size, error) {
+		if *sizeName == "" {
+			return def, nil
+		}
+		return workloads.ParseSize(*sizeName)
+	}
+
+	cmds := strings.Split(fs.Arg(0), ",")
+	for _, cmd := range cmds {
+		if err := dispatch(r, cmd, sizeOr, *jobs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads.Size, error), jobs int) error {
+	switch cmd {
+	case "list":
+		fmt.Println("microbenchmarks:")
+		for _, w := range workloads.Micro() {
+			fmt.Printf("  %-12s %s\n", w.Name(), w.Domain())
+		}
+		fmt.Println("applications:")
+		for _, w := range workloads.Apps() {
+			fmt.Printf("  %-12s %s\n", w.Name(), w.Domain())
+		}
+		return nil
+
+	case "table3":
+		fmt.Print(core.RenderTable3())
+		return nil
+
+	case "fig4", "fig5":
+		sizes := workloads.AllSizes
+		study, err := r.Distributions(workloads.Micro(), sizes)
+		if err != nil {
+			return err
+		}
+		if cmd == "fig4" {
+			fmt.Print(study.RenderFig4())
+		} else {
+			fmt.Print(study.RenderFig5())
+		}
+		return nil
+
+	case "fig6":
+		f, err := r.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		return nil
+
+	case "fig7":
+		for _, size := range []workloads.Size{workloads.Large, workloads.Super} {
+			study, err := r.BreakdownComparison(workloads.Micro(), size)
+			if err != nil {
+				return err
+			}
+			fmt.Print(study.Render("Figure 7"))
+			fmt.Println()
+		}
+		return nil
+
+	case "fig8":
+		size, err := sizeOr(workloads.Super)
+		if err != nil {
+			return err
+		}
+		study, err := r.BreakdownComparison(workloads.Apps(), size)
+		if err != nil {
+			return err
+		}
+		fmt.Print(study.Render("Figure 8"))
+		return nil
+
+	case "fig9", "fig10":
+		size, err := sizeOr(workloads.Super)
+		if err != nil {
+			return err
+		}
+		study, err := r.CounterComparison([]string{"gemm", "lud", "yolov3"}, size)
+		if err != nil {
+			return err
+		}
+		if cmd == "fig9" {
+			fmt.Print(study.RenderFig9())
+		} else {
+			fmt.Print(study.RenderFig10())
+		}
+		return nil
+
+	case "fig11":
+		size, err := sizeOr(workloads.Large)
+		if err != nil {
+			return err
+		}
+		sw, err := r.SweepBlocks(size, []int{4096, 2048, 1024, 512, 256, 128, 64, 32, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sw.Render("Figure 11"))
+		return nil
+
+	case "fig12":
+		size, err := sizeOr(workloads.Large)
+		if err != nil {
+			return err
+		}
+		sw, err := r.SweepThreads(size, []int{1024, 512, 256, 128, 64, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sw.Render("Figure 12"))
+		return nil
+
+	case "fig13":
+		size, err := sizeOr(workloads.Large)
+		if err != nil {
+			return err
+		}
+		sw, err := r.SweepShared(size, []float64{2, 4, 8, 16, 32, 64, 128})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sw.Render("Figure 13"))
+		return nil
+
+	case "fig14":
+		size, err := sizeOr(workloads.Super)
+		if err != nil {
+			return err
+		}
+		res, err := r.MultiJob("vector_seq", cuda.UVMPrefetchAsync, size, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+
+	case "micro":
+		size, err := sizeOr(workloads.Super)
+		if err != nil {
+			return err
+		}
+		study, err := r.BreakdownComparison(workloads.Micro(), size)
+		if err != nil {
+			return err
+		}
+		fmt.Print(study.Render("Microbenchmarks (§4.1.1)"))
+		return nil
+
+	case "apps":
+		size, err := sizeOr(workloads.Super)
+		if err != nil {
+			return err
+		}
+		study, err := r.BreakdownComparison(workloads.Apps(), size)
+		if err != nil {
+			return err
+		}
+		fmt.Print(study.Render("Real-world applications (§4.1.2)"))
+		return nil
+
+	case "oversub":
+		// Extension experiment: UVM oversubscription (see §2.1's cited
+		// related work). Two passes over footprints around capacity.
+		study, err := r.Oversubscription(cuda.UVMPrefetch,
+			[]float64{0.25, 0.5, 0.75, 0.9, 1.1, 1.3}, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Print(study.Render())
+		return nil
+
+	case "all":
+		for _, sub := range []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "oversub"} {
+			fmt.Printf("==== %s ====\n", sub)
+			if err := dispatch(r, sub, sizeOr, jobs); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}

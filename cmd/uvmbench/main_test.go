@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+// TestDispatchSubcommands smoke-tests every subcommand end to end with a
+// single iteration (output goes to stdout; correctness of the numbers is
+// covered by internal/core's tests).
+func TestDispatchSubcommands(t *testing.T) {
+	subs := []string{"list", "table3", "fig6", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "micro"}
+	for _, sub := range subs {
+		sub := sub
+		t.Run(sub, func(t *testing.T) {
+			if err := run([]string{"-i", "1", sub}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing subcommand should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"-size", "giga", "fig8"}); err == nil {
+		t.Error("bad size should error")
+	}
+	if err := run([]string{"-i", "1", "-size", "small", "fig8"}); err != nil {
+		t.Errorf("size override should work: %v", err)
+	}
+}
+
+func TestCommaSeparatedCommands(t *testing.T) {
+	if err := run([]string{"-i", "1", "table3,list"}); err != nil {
+		t.Fatal(err)
+	}
+}

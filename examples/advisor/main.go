@@ -1,0 +1,83 @@
+// Advisor: automates the paper's design guideline (§7). Given a
+// workload, it profiles all five data-transfer setups with a few quick
+// runs, reports the breakdowns, and recommends a configuration using the
+// paper's decision rules:
+//
+//   - GB-scale memory-bound workloads: UVM with prefetch, plus Async
+//     Memcpy when the kernel is staging-bound.
+//   - Irregular access patterns: Async Memcpy over UVM prefetching.
+//   - Compute-bound kernels: leave Async Memcpy off.
+//
+// Run with:
+//
+//	go run ./examples/advisor [-workload lud] [-size super]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"uvmasim/internal/core"
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "lud", "workload to advise on")
+	sizeName := flag.String("size", "super", "input class")
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := workloads.ParseSize(*sizeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := core.NewRunner()
+	r.Iterations = 5
+	study, err := r.BreakdownComparison([]workloads.Workload{w}, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := study.Rows[0]
+
+	fmt.Printf("profile of %s (%s input):\n", w.Name(), size)
+	fmt.Printf("%-20s %10s %10s %10s %10s\n", "setup", "kernel ms", "memcpy ms", "alloc ms", "roi ms")
+	best, bestROI := cuda.Standard, 0.0
+	for i, setup := range cuda.AllSetups {
+		b := row.BySetup[i]
+		roi := b.Total - b.Overhead
+		fmt.Printf("%-20s %10.2f %10.2f %10.2f %10.2f\n",
+			setup, b.Kernel/1e6, b.Memcpy/1e6, b.Alloc/1e6, roi/1e6)
+		if i == 0 || roi < bestROI {
+			best, bestROI = setup, roi
+		}
+	}
+
+	std := row.BySetup[0]
+	roiStd := std.Total - std.Overhead
+	transferBound := std.Memcpy > std.Kernel
+	fmt.Println()
+	fmt.Printf("transfer-bound: %v (memcpy %.0f%% of region of interest)\n",
+		transferBound, 100*std.Memcpy/roiStd)
+	fmt.Printf("recommendation: %s (%.1f%% faster than standard)\n",
+		best, 100*(1-bestROI/roiStd))
+
+	switch {
+	case best.AsyncCopy() && !best.Managed():
+		fmt.Println("rationale: the kernel is staging-bound with an access pattern the")
+		fmt.Println("UVM prefetcher cannot track — Async Memcpy alone wins (Takeaway 2).")
+	case best.Managed() && best.AsyncCopy():
+		fmt.Println("rationale: memory-bound with transfers worth pipelining end to end;")
+		fmt.Println("use UVM with prefetch and stage tiles with memcpy_async.")
+	case best.Managed():
+		fmt.Println("rationale: regular, transfer-bound workload — UVM prefetch moves the")
+		fmt.Println("data at streaming rate; the kernel gains nothing from async staging.")
+	default:
+		fmt.Println("rationale: neither feature pays for its overhead on this profile.")
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: the canonical CUDA flow of the paper's Figure 2 —
+// allocate, stage, launch, consume — executed under each of the five
+// data-transfer setups, printing the execution-time breakdown the paper
+// measures (data allocation, CPU-GPU transfer, GPU kernel).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/kernels"
+)
+
+func main() {
+	const n = 64 << 20 // 256 MB of float32
+	fmt.Println("saxpy over", n, "elements on the simulated A100 system")
+	fmt.Printf("%-20s %10s %10s %10s %12s\n", "setup", "alloc ms", "memcpy ms", "kernel ms", "total ms")
+
+	for _, setup := range cuda.AllSetups {
+		b, err := runSaxpy(setup, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %10.2f %10.2f %10.2f %12.2f\n",
+			setup, b.Alloc/1e6, b.Memcpy/1e6, b.Kernel/1e6, b.Total/1e6)
+	}
+	fmt.Println("\nUVM removes the explicit memcpy; prefetch removes the fault stalls;")
+	fmt.Println("async staging trims the kernel's staging overhead (Takeaway 2).")
+}
+
+func runSaxpy(setup cuda.Setup, n int64) (cuda.Breakdown, error) {
+	ctx := cuda.NewContext(cuda.DefaultSystemConfig(), setup, 42)
+
+	// cudaMalloc or cudaMallocManaged, depending on the setup — the
+	// code is identical either way, as in the paper's Figure 2.
+	x, err := ctx.Alloc("x", 4*n)
+	if err != nil {
+		return cuda.Breakdown{}, err
+	}
+	y, err := ctx.Alloc("y", 4*n)
+	if err != nil {
+		return cuda.Breakdown{}, err
+	}
+
+	// Explicit cudaMemcpy for standard/async; a no-op under UVM, where
+	// the kernel's page faults (or the prefetcher) move the data.
+	if err := ctx.Upload(x); err != nil {
+		return cuda.Breakdown{}, err
+	}
+	if err := ctx.Upload(y); err != nil {
+		return cuda.Breakdown{}, err
+	}
+
+	spec := kernels.Stream("saxpy", n, 2, 1, 2, 3, gpu.Sequential)
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   spec,
+		Reads:  []*cuda.Buffer{x, y},
+		Writes: []*cuda.Buffer{y},
+	}); err != nil {
+		return cuda.Breakdown{}, err
+	}
+	ctx.Synchronize()
+
+	// The host reads the result (a D2H copy, or dirty-page writeback
+	// under UVM).
+	if err := ctx.Consume(y); err != nil {
+		return cuda.Breakdown{}, err
+	}
+	if err := ctx.Free(x); err != nil {
+		return cuda.Breakdown{}, err
+	}
+	if err := ctx.Free(y); err != nil {
+		return cuda.Breakdown{}, err
+	}
+	return ctx.Breakdown(), nil
+}

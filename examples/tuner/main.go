@@ -1,0 +1,73 @@
+// Tuner: the paper's §5 sensitivity studies in the form a CUDA
+// programmer would actually use them — sweep the launch hyperparameters
+// (threads per block, L1/shared-memory partition) for a workload under a
+// chosen setup and report the best configuration, illustrating
+// Takeaways 4 and 5.
+//
+// Run with:
+//
+//	go run ./examples/tuner [-setup uvm_prefetch_async]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/workloads"
+)
+
+func main() {
+	setupName := flag.String("setup", "uvm_prefetch_async", "data-transfer setup to tune for")
+	flag.Parse()
+	setup, err := cuda.ParseSetup(*setupName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(opt workloads.SensitivityOptions, seed int64) float64 {
+		ctx := cuda.NewContext(cuda.DefaultSystemConfig(), setup, seed)
+		if err := workloads.RunVectorSeqSensitivity(ctx, workloads.Large, opt); err != nil {
+			log.Fatal(err)
+		}
+		b := ctx.Breakdown()
+		return b.Total - b.Overhead
+	}
+
+	fmt.Printf("tuning vector_seq (Large) under %s\n\n", setup)
+
+	// Takeaway 4: block count barely matters, threads per block matter.
+	fmt.Println("threads-per-block sweep (64 blocks):")
+	bestThreads, bestT := 0, math.Inf(1)
+	for _, tpb := range []int{32, 64, 128, 256, 512, 1024} {
+		t := measure(workloads.SensitivityOptions{Blocks: 64, ThreadsPerBlock: tpb}, 7)
+		marker := ""
+		if t < bestT {
+			bestT, bestThreads = t, tpb
+			marker = "  <-"
+		}
+		fmt.Printf("  %4d threads: %8.2f ms%s\n", tpb, t/1e6, marker)
+	}
+
+	// Takeaway 5: the L1/shared partition has a sweet spot — enough
+	// shared memory for double buffering, enough L1 for the UVM
+	// prefetcher.
+	fmt.Println("\nshared-memory-per-block sweep (108 blocks):")
+	bestShared, bestS := 0.0, math.Inf(1)
+	for _, kb := range []float64{2, 4, 8, 16, 32, 64, 128} {
+		t := measure(workloads.SensitivityOptions{
+			Blocks: 108, ThreadsPerBlock: 256, SharedPerBlockKB: kb,
+		}, 7)
+		marker := ""
+		if t < bestS {
+			bestS, bestShared = t, kb
+			marker = "  <-"
+		}
+		fmt.Printf("  %4.0f KB: %8.2f ms%s\n", kb, t/1e6, marker)
+	}
+
+	fmt.Printf("\nrecommendation: %d threads/block, %.0f KB shared per block\n",
+		bestThreads, bestShared)
+}

@@ -1,0 +1,3 @@
+module uvmasim
+
+go 1.22

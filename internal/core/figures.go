@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/stats"
+	"uvmasim/internal/workloads"
+)
+
+// --- Figures 4 & 5: run-to-run distributions across input sizes ----------
+
+// DistCell is one (workload, setup, size) distribution.
+type DistCell struct {
+	Workload string
+	Setup    cuda.Setup
+	Size     workloads.Size
+	Summary  stats.Summary
+	CV       float64 // std/mean, the Figure 5 quantity
+}
+
+// DistributionStudy holds the Figure 4/5 measurement grid.
+type DistributionStudy struct {
+	Sizes     []workloads.Size
+	Workloads []string
+	Cells     []DistCell
+}
+
+// Distributions measures every (workload, setup, size) combination.
+func (r *Runner) Distributions(ws []workloads.Workload, sizes []workloads.Size) (*DistributionStudy, error) {
+	study := &DistributionStudy{Sizes: sizes}
+	for _, w := range ws {
+		study.Workloads = append(study.Workloads, w.Name())
+		for _, size := range sizes {
+			for _, setup := range cuda.AllSetups {
+				res, err := r.Measure(w, setup, size)
+				if err != nil {
+					return nil, err
+				}
+				totals := res.Totals()
+				study.Cells = append(study.Cells, DistCell{
+					Workload: w.Name(),
+					Setup:    setup,
+					Size:     size,
+					Summary:  stats.Summarize(totals),
+					CV:       stats.CoefVar(totals),
+				})
+			}
+		}
+	}
+	return study, nil
+}
+
+// CV returns the mean coefficient of variation for a workload at a size,
+// averaged across the five setups (Figure 5 plots this).
+func (d *DistributionStudy) CV(workload string, size workloads.Size) float64 {
+	var cvs []float64
+	for _, c := range d.Cells {
+		if c.Workload == workload && c.Size == size {
+			cvs = append(cvs, c.CV)
+		}
+	}
+	return stats.Mean(cvs)
+}
+
+// GeoMeanCV returns the geometric mean of per-workload CVs at a size
+// (the paper's Geo-mean bar in Figure 5).
+func (d *DistributionStudy) GeoMeanCV(size workloads.Size) float64 {
+	var cvs []float64
+	for _, w := range d.Workloads {
+		cvs = append(cvs, d.CV(w, size))
+	}
+	return stats.GeoMean(cvs)
+}
+
+// --- Figure 6: per-run breakdown instability at Mega ---------------------
+
+// Fig6 holds the per-run breakdowns of vector_seq at the Mega input.
+type Fig6 struct {
+	Runs []cuda.Breakdown
+}
+
+// Fig6 measures vector_seq at Mega under the standard setup, exposing
+// the host-DRAM chip-boundary memcpy variance (Takeaway 1).
+func (r *Runner) Fig6() (*Fig6, error) {
+	w, err := workloads.ByName("vector_seq")
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Measure(w, cuda.Standard, workloads.Mega)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6{Runs: res.Breakdowns}, nil
+}
+
+// MemcpyCV returns std/mean of the memcpy component across runs.
+func (f *Fig6) MemcpyCV() float64 {
+	vals := make([]float64, len(f.Runs))
+	for i, b := range f.Runs {
+		vals[i] = b.Memcpy
+	}
+	return stats.CoefVar(vals)
+}
+
+// KernelCV returns std/mean of the kernel component across runs.
+func (f *Fig6) KernelCV() float64 {
+	vals := make([]float64, len(f.Runs))
+	for i, b := range f.Runs {
+		vals[i] = b.Kernel
+	}
+	return stats.CoefVar(vals)
+}
+
+// --- Figures 7 & 8: five-setup breakdown comparison ----------------------
+
+// BreakdownRow is one workload's mean breakdown under each setup
+// (cuda.AllSetups order).
+type BreakdownRow struct {
+	Workload string
+	BySetup  []cuda.Breakdown
+}
+
+// Normalized returns component times normalized to the standard total.
+func (row BreakdownRow) Normalized(setup int) (kernel, memcpy, alloc, total float64) {
+	base := row.BySetup[0].Total - row.BySetup[0].Overhead
+	if base <= 0 {
+		return 0, 0, 0, 0
+	}
+	b := row.BySetup[setup]
+	return b.Kernel / base, b.Memcpy / base, b.Alloc / base, (b.Total - b.Overhead) / base
+}
+
+// BreakdownStudy is the Figure 7/8 grid at one input size.
+type BreakdownStudy struct {
+	Size workloads.Size
+	Rows []BreakdownRow
+}
+
+// BreakdownComparison measures the mean five-setup breakdown of each
+// workload at the given size.
+func (r *Runner) BreakdownComparison(ws []workloads.Workload, size workloads.Size) (*BreakdownStudy, error) {
+	study := &BreakdownStudy{Size: size}
+	for _, w := range ws {
+		results, err := r.MeasureAllSetups(w, size)
+		if err != nil {
+			return nil, err
+		}
+		row := BreakdownRow{Workload: w.Name()}
+		for _, res := range results {
+			row.BySetup = append(row.BySetup, res.MeanBreakdown())
+		}
+		study.Rows = append(study.Rows, row)
+	}
+	return study, nil
+}
+
+// GeoMeanImprovement returns the geometric-mean relative total-time
+// improvement of the given setup over standard across the study's
+// workloads (positive = faster), the §4.1 headline statistic. The fixed
+// process overhead is excluded, as the paper's region-of-interest
+// measurement does.
+func (s *BreakdownStudy) GeoMeanImprovement(setup cuda.Setup) float64 {
+	var ratios []float64
+	for _, row := range s.Rows {
+		std := row.BySetup[0].Total - row.BySetup[0].Overhead
+		cur := row.BySetup[int(setup)].Total - row.BySetup[int(setup)].Overhead
+		if std > 0 && cur > 0 {
+			ratios = append(ratios, cur/std)
+		}
+	}
+	return 1 - stats.GeoMean(ratios)
+}
+
+// ComponentSavings returns the mean relative reduction of one breakdown
+// component (e.g. memcpy) under a setup versus standard.
+func (s *BreakdownStudy) ComponentSavings(setup cuda.Setup, component func(cuda.Breakdown) float64) float64 {
+	var ratios []float64
+	for _, row := range s.Rows {
+		std := component(row.BySetup[0])
+		cur := component(row.BySetup[int(setup)])
+		if std > 0 {
+			ratios = append(ratios, cur/std)
+		}
+	}
+	return 1 - stats.Mean(ratios)
+}
+
+// Row returns the row for a workload.
+func (s *BreakdownStudy) Row(workload string) (BreakdownRow, error) {
+	for _, row := range s.Rows {
+		if row.Workload == workload {
+			return row, nil
+		}
+	}
+	return BreakdownRow{}, fmt.Errorf("core: workload %q not in study", workload)
+}
+
+// --- Figures 9 & 10: instruction mix and cache miss rates ----------------
+
+// CounterRow holds the profiled counters of one workload under one setup.
+type CounterRow struct {
+	Workload string
+	Setup    cuda.Setup
+
+	CtrlInst      float64
+	IntInst       float64
+	MemInst       float64
+	FPInst        float64
+	LoadMissRate  float64
+	StoreMissRate float64
+}
+
+// CounterStudy is the Figure 9/10 data (gemm, lud, yolov3 in the paper).
+type CounterStudy struct {
+	Size workloads.Size
+	Rows []CounterRow
+}
+
+// CounterComparison profiles the named workloads under every setup.
+// Counter collection needs a single run per cell (values are
+// deterministic per seed), matching the paper's separate profiling pass.
+func (r *Runner) CounterComparison(names []string, size workloads.Size) (*CounterStudy, error) {
+	single := *r
+	single.Iterations = 1
+	study := &CounterStudy{Size: size}
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, setup := range cuda.AllSetups {
+			res, err := single.Measure(w, setup, size)
+			if err != nil {
+				return nil, err
+			}
+			study.Rows = append(study.Rows, CounterRow{
+				Workload:      name,
+				Setup:         setup,
+				CtrlInst:      res.Counters.Inst.Ctrl,
+				IntInst:       res.Counters.Inst.Int,
+				MemInst:       res.Counters.Inst.Mem,
+				FPInst:        res.Counters.Inst.FP,
+				LoadMissRate:  res.Counters.L1.LoadMissRate(),
+				StoreMissRate: res.Counters.L1.StoreMissRate(),
+			})
+		}
+	}
+	return study, nil
+}
+
+// Row returns the counters for (workload, setup).
+func (s *CounterStudy) Row(workload string, setup cuda.Setup) (CounterRow, error) {
+	for _, row := range s.Rows {
+		if row.Workload == workload && row.Setup == setup {
+			return row, nil
+		}
+	}
+	return CounterRow{}, fmt.Errorf("core: no counter row for %s/%s", workload, setup)
+}
+
+// --- Figures 11-13: sensitivity sweeps ------------------------------------
+
+// SweepPoint is one x-axis value of a sensitivity sweep with the mean
+// five-setup breakdowns.
+type SweepPoint struct {
+	Param   float64
+	BySetup []cuda.Breakdown
+}
+
+// Sweep is a Figure 11/12/13 dataset.
+type Sweep struct {
+	Name      string
+	ParamName string
+	Size      workloads.Size
+	Points    []SweepPoint
+}
+
+// sweep runs vector_seq sensitivity measurements over params, using opt
+// to translate a parameter value into launch options.
+func (r *Runner) sweep(name, paramName string, size workloads.Size, params []float64,
+	opt func(p float64) workloads.SensitivityOptions) (*Sweep, error) {
+	sw := &Sweep{Name: name, ParamName: paramName, Size: size}
+	iters := r.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	for _, p := range params {
+		point := SweepPoint{Param: p}
+		for _, setup := range cuda.AllSetups {
+			var acc Result
+			acc.Setup = setup
+			for i := 0; i < iters; i++ {
+				seed := r.seedFor(name, setup, size, i) + int64(p*17)
+				ctx := cuda.NewContext(r.Config, setup, seed)
+				if err := workloads.RunVectorSeqSensitivity(ctx, size, opt(p)); err != nil {
+					return nil, err
+				}
+				acc.Breakdowns = append(acc.Breakdowns, ctx.Breakdown())
+			}
+			point.BySetup = append(point.BySetup, acc.MeanBreakdown())
+		}
+		sw.Points = append(sw.Points, point)
+	}
+	return sw, nil
+}
+
+// SweepBlocks is Figure 11: vary the number of blocks with 256 threads.
+func (r *Runner) SweepBlocks(size workloads.Size, blocks []int) (*Sweep, error) {
+	params := make([]float64, len(blocks))
+	for i, b := range blocks {
+		params[i] = float64(b)
+	}
+	return r.sweep("fig11-blocks", "#blocks", size, params, func(p float64) workloads.SensitivityOptions {
+		return workloads.SensitivityOptions{Blocks: int(p), ThreadsPerBlock: 256}
+	})
+}
+
+// SweepThreads is Figure 12: vary threads per block with 64 blocks.
+func (r *Runner) SweepThreads(size workloads.Size, threads []int) (*Sweep, error) {
+	params := make([]float64, len(threads))
+	for i, t := range threads {
+		params[i] = float64(t)
+	}
+	return r.sweep("fig12-threads", "#threads", size, params, func(p float64) workloads.SensitivityOptions {
+		return workloads.SensitivityOptions{Blocks: 64, ThreadsPerBlock: int(p)}
+	})
+}
+
+// SweepShared is Figure 13: vary the shared-memory allocation per block.
+// The grid is pinned to one block per SM so the per-block allocation maps
+// one-to-one onto the SM's L1/shared partition.
+func (r *Runner) SweepShared(size workloads.Size, kbs []float64) (*Sweep, error) {
+	return r.sweep("fig13-shared", "sharedKB", size, kbs, func(p float64) workloads.SensitivityOptions {
+		return workloads.SensitivityOptions{Blocks: 108, ThreadsPerBlock: 256, SharedPerBlockKB: p}
+	})
+}
+
+// Normalized returns a point's total for a setup normalized to the
+// standard setup at the sweep's first point, overhead excluded.
+func (s *Sweep) Normalized(pointIdx, setup int) float64 {
+	base := s.Points[0].BySetup[0].Total - s.Points[0].BySetup[0].Overhead
+	if base <= 0 {
+		return 0
+	}
+	b := s.Points[pointIdx].BySetup[setup]
+	return (b.Total - b.Overhead) / base
+}

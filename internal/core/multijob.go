@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/stats"
+	"uvmasim/internal/workloads"
+)
+
+// MultiJobResult is the §6 / Figure 14 analysis: batch processing of
+// independent jobs with and without the proposed inter-job data-transfer
+// model, in which job i+1's allocation (cudaMallocManaged) and job i's
+// deallocation (cudaFree) run on the otherwise idle CPU while the GPU
+// executes kernels.
+type MultiJobResult struct {
+	Workload string
+	Setup    cuda.Setup
+	Jobs     int
+
+	// Per-job stage times (mean of the measured runs).
+	Alloc    float64
+	Transfer float64
+	Kernel   float64
+
+	// SerialTotal chains jobs end to end (today's model, Figure 14 top).
+	SerialTotal float64
+	// PipelinedTotal overlaps CPU allocation work with GPU execution of
+	// the neighboring jobs (Figure 14 bottom).
+	PipelinedTotal float64
+	// Improvement is 1 - pipelined/serial.
+	Improvement float64
+
+	// Shares of the serial per-job time, the quantities §6.1 reports
+	// (allocation 37.66%, kernel 37.79% under uvm_prefetch_async).
+	AllocShare  float64
+	KernelShare float64
+	// Occupancy is the measured time-average SM occupancy.
+	Occupancy float64
+}
+
+// MultiJob measures workload w once under setup and projects a batch of
+// the given number of identical jobs through both schedules.
+func (r *Runner) MultiJob(name string, setup cuda.Setup, size workloads.Size, jobs int) (*MultiJobResult, error) {
+	if jobs < 1 {
+		return nil, fmt.Errorf("core: job count must be positive, got %d", jobs)
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Measure(w, setup, size)
+	if err != nil {
+		return nil, err
+	}
+	mb := res.MeanBreakdown()
+
+	out := &MultiJobResult{
+		Workload: name,
+		Setup:    setup,
+		Jobs:     jobs,
+		Alloc:    mb.Alloc,
+		Transfer: mb.Memcpy,
+		Kernel:   mb.Kernel,
+	}
+	perJob := mb.Alloc + mb.Memcpy + mb.Kernel
+	out.AllocShare = mb.Alloc / perJob
+	out.KernelShare = mb.Kernel / perJob
+	out.Occupancy = res.Counters.Occupancy()
+
+	// Serial (current) model: every job runs its full pipeline alone.
+	out.SerialTotal = float64(jobs) * perJob
+
+	// Pipelined model: the CPU-side allocation/free of neighbouring jobs
+	// hides behind the GPU phase (transfer+kernel). The first job's
+	// allocation and the last job's free remain exposed; each steady-
+	// state job costs max(GPU phase, CPU phase).
+	gpuPhase := mb.Memcpy + mb.Kernel
+	cpuPhase := mb.Alloc
+	steady := gpuPhase
+	if cpuPhase > steady {
+		steady = cpuPhase
+	}
+	out.PipelinedTotal = mb.Alloc + float64(jobs)*steady
+	out.Improvement = 1 - out.PipelinedTotal/out.SerialTotal
+	return out, nil
+}
+
+// PipelineStats aggregates the §6.1 quantities over a set of workloads:
+// the share of time spent on data transfer and allocation, and the mean
+// occupancy, before (standard) and after (uvm_prefetch_async).
+type PipelineStats struct {
+	Setup         cuda.Setup
+	TransferShare float64
+	AllocShare    float64
+	KernelShare   float64
+	Occupancy     float64
+}
+
+// PipelineShares measures the given workloads under one setup at a size
+// and averages the component shares of the region of interest.
+func (r *Runner) PipelineShares(ws []workloads.Workload, setup cuda.Setup, size workloads.Size) (PipelineStats, error) {
+	var tr, al, ke, occ []float64
+	for _, w := range ws {
+		res, err := r.Measure(w, setup, size)
+		if err != nil {
+			return PipelineStats{}, err
+		}
+		mb := res.MeanBreakdown()
+		roi := mb.Alloc + mb.Memcpy + mb.Kernel
+		if roi <= 0 {
+			continue
+		}
+		tr = append(tr, mb.Memcpy/roi)
+		al = append(al, mb.Alloc/roi)
+		ke = append(ke, mb.Kernel/roi)
+		occ = append(occ, res.Counters.Occupancy())
+	}
+	return PipelineStats{
+		Setup:         setup,
+		TransferShare: stats.Mean(tr),
+		AllocShare:    stats.Mean(al),
+		KernelShare:   stats.Mean(ke),
+		Occupancy:     stats.Mean(occ),
+	}, nil
+}

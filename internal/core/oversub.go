@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/kernels"
+)
+
+// Oversubscription extends the paper's study in the direction its
+// related-work section points (Shao et al., "Oversubscribing GPU Unified
+// Virtual Memory"): UVM lets a working set exceed device memory, at the
+// cost of eviction churn once the footprint passes capacity. The
+// experiment streams a vector workload whose footprint is a multiple of
+// the device's managed capacity and records throughput and eviction
+// traffic per oversubscription ratio.
+type OversubPoint struct {
+	Ratio        float64 // footprint / managed capacity
+	Footprint    int64
+	Total        float64 // wall total, ns
+	BytesPerNs   float64 // effective processing throughput
+	EvictedBytes float64
+	PageFaults   float64
+}
+
+// OversubStudy is the sweep result.
+type OversubStudy struct {
+	Setup  cuda.Setup
+	Points []OversubPoint
+}
+
+// Oversubscription sweeps footprint ratios (e.g. 0.5, 0.9, 1.2, 1.5) of
+// the managed capacity under the given UVM setup, running `passes`
+// sequential sweeps over the data so that ratios above 1.0 must evict.
+func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int) (*OversubStudy, error) {
+	if !setup.Managed() {
+		return nil, fmt.Errorf("core: oversubscription requires a UVM setup, got %v", setup)
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	study := &OversubStudy{Setup: setup}
+	capacity := int64(float64(r.Config.GPU.HBMCapacity) * r.Config.ManagedCapacityFraction)
+	for _, ratio := range ratios {
+		footprint := int64(ratio * float64(capacity))
+		ctx := cuda.NewContext(r.Config, setup, r.BaseSeed)
+		buf, err := ctx.Alloc("oversub", footprint)
+		if err != nil {
+			return nil, err
+		}
+		n := footprint / 4
+		spec := kernels.Stream("oversub_pass", n, 1, 1, 8, 4, gpu.Sequential)
+		for p := 0; p < passes; p++ {
+			if err := ctx.Launch(cuda.Launch{
+				Spec:   spec,
+				Reads:  []*cuda.Buffer{buf},
+				Writes: []*cuda.Buffer{buf},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		ctx.Synchronize()
+		if err := ctx.Free(buf); err != nil {
+			return nil, err
+		}
+		b := ctx.Breakdown()
+		roi := b.Total - b.Overhead
+		study.Points = append(study.Points, OversubPoint{
+			Ratio:        ratio,
+			Footprint:    footprint,
+			Total:        b.Total,
+			BytesPerNs:   float64(footprint*int64(passes)) / roi,
+			EvictedBytes: ctx.Counters().UVM.EvictedBytes,
+			PageFaults:   ctx.Counters().UVM.PageFaults,
+		})
+	}
+	return study, nil
+}
+
+// Render prints the oversubscription sweep.
+func (s *OversubStudy) Render() string {
+	out := fmt.Sprintf("Oversubscription sweep (%s): throughput vs footprint/capacity\n", s.Setup)
+	out += fmt.Sprintf("%-8s %12s %14s %14s %12s\n",
+		"ratio", "footprint GB", "GB/s effective", "evicted GB", "faults")
+	for _, p := range s.Points {
+		out += fmt.Sprintf("%-8.2f %12.1f %14.2f %14.2f %12.0f\n",
+			p.Ratio, float64(p.Footprint)/float64(1<<30),
+			p.BytesPerNs, p.EvictedBytes/float64(1<<30), p.PageFaults)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package core is the paper's experiment harness: it runs the benchmark
+// suite under the five data-transfer setups, repeats each measurement
+// with fresh noise draws (the paper's 30 iterations), aggregates
+// execution-time breakdowns and hardware counters, and produces the data
+// behind every table and figure of the evaluation (Table 3, Figures
+// 4-13) plus the §6 inter-job pipeline model (Figure 14).
+package core
+
+import (
+	"fmt"
+
+	"uvmasim/internal/counters"
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/stats"
+	"uvmasim/internal/workloads"
+)
+
+// DefaultIterations is the paper's repetition count per configuration.
+const DefaultIterations = 30
+
+// Runner executes measured workload runs.
+type Runner struct {
+	Config     cuda.SystemConfig
+	Iterations int
+	BaseSeed   int64
+}
+
+// NewRunner returns a Runner with the paper's defaults.
+func NewRunner() *Runner {
+	return &Runner{
+		Config:     cuda.DefaultSystemConfig(),
+		Iterations: DefaultIterations,
+		BaseSeed:   1,
+	}
+}
+
+// Result holds the repeated measurements of one (workload, setup, size)
+// cell.
+type Result struct {
+	Workload string
+	Setup    cuda.Setup
+	Size     workloads.Size
+
+	Breakdowns []cuda.Breakdown
+	// Counters from the final iteration (counter values are
+	// deterministic given the seed; the paper likewise profiles counters
+	// in dedicated runs).
+	Counters counters.Set
+}
+
+// Totals returns the per-iteration wall totals.
+func (r Result) Totals() []float64 {
+	out := make([]float64, len(r.Breakdowns))
+	for i, b := range r.Breakdowns {
+		out[i] = b.Total
+	}
+	return out
+}
+
+// MeanBreakdown averages the component breakdown across iterations.
+func (r Result) MeanBreakdown() cuda.Breakdown {
+	var m cuda.Breakdown
+	n := float64(len(r.Breakdowns))
+	if n == 0 {
+		return m
+	}
+	for _, b := range r.Breakdowns {
+		m.Alloc += b.Alloc
+		m.Memcpy += b.Memcpy
+		m.Kernel += b.Kernel
+		m.Overhead += b.Overhead
+		m.Total += b.Total
+	}
+	m.Alloc /= n
+	m.Memcpy /= n
+	m.Kernel /= n
+	m.Overhead /= n
+	m.Total /= n
+	return m
+}
+
+// Summary summarizes the wall totals.
+func (r Result) Summary() stats.Summary { return stats.Summarize(r.Totals()) }
+
+// seedFor derives a deterministic seed per cell and iteration.
+func (r *Runner) seedFor(name string, setup cuda.Setup, size workloads.Size, iter int) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	// Setups share the iteration's noise draw (same "machine state"), as
+	// when the paper interleaves its per-setup runs.
+	_ = setup
+	return r.BaseSeed + h%100000 + int64(size)*1000003 + int64(iter)*7919
+}
+
+// Measure runs workload w under setup at size for the configured number
+// of iterations.
+func (r *Runner) Measure(w workloads.Workload, setup cuda.Setup, size workloads.Size) (Result, error) {
+	res := Result{Workload: w.Name(), Setup: setup, Size: size}
+	iters := r.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	for i := 0; i < iters; i++ {
+		ctx := cuda.NewContext(r.Config, setup, r.seedFor(w.Name(), setup, size, i))
+		if err := w.Run(ctx, size); err != nil {
+			return res, fmt.Errorf("core: %s/%s/%s iteration %d: %w",
+				w.Name(), setup, size, i, err)
+		}
+		res.Breakdowns = append(res.Breakdowns, ctx.Breakdown())
+		if i == iters-1 {
+			res.Counters = *ctx.Counters()
+		}
+	}
+	return res, nil
+}
+
+// MeasureAllSetups measures one workload at one size under all five
+// setups, in the paper's order.
+func (r *Runner) MeasureAllSetups(w workloads.Workload, size workloads.Size) ([]Result, error) {
+	out := make([]Result, 0, len(cuda.AllSetups))
+	for _, s := range cuda.AllSetups {
+		res, err := r.Measure(w, s, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+// Package counters mirrors the role CUPTI and Linux perf play in the
+// paper: it accumulates the hardware events the analysis sections read —
+// instruction mix (Figure 9), unified-L1 load/store miss rates
+// (Figure 10), data-transfer volumes, UVM fault activity and SM occupancy
+// (§6).
+package counters
+
+// InstMix counts executed instructions by class. Counts are float64
+// because they come from an analytic model, not discrete retirement.
+type InstMix struct {
+	Mem  float64 // global/shared load & store instructions
+	FP   float64 // floating-point instructions
+	Int  float64 // integer (address arithmetic) instructions
+	Ctrl float64 // control (branch/loop/pipeline-barrier) instructions
+}
+
+// Add accumulates o into m.
+func (m *InstMix) Add(o InstMix) {
+	m.Mem += o.Mem
+	m.FP += o.FP
+	m.Int += o.Int
+	m.Ctrl += o.Ctrl
+}
+
+// Total returns the total instruction count across classes.
+func (m InstMix) Total() float64 { return m.Mem + m.FP + m.Int + m.Ctrl }
+
+// L1Stats captures unified L1/texture cache activity for global loads and
+// stores, the two counters Figure 10 compares.
+type L1Stats struct {
+	LoadAccesses  float64
+	LoadMisses    float64
+	StoreAccesses float64
+	StoreMisses   float64
+}
+
+// Add accumulates o into s.
+func (s *L1Stats) Add(o L1Stats) {
+	s.LoadAccesses += o.LoadAccesses
+	s.LoadMisses += o.LoadMisses
+	s.StoreAccesses += o.StoreAccesses
+	s.StoreMisses += o.StoreMisses
+}
+
+// LoadMissRate returns misses/accesses for global loads (0 when idle).
+func (s L1Stats) LoadMissRate() float64 {
+	if s.LoadAccesses == 0 {
+		return 0
+	}
+	return s.LoadMisses / s.LoadAccesses
+}
+
+// StoreMissRate returns misses/accesses for global stores (0 when idle).
+func (s L1Stats) StoreMissRate() float64 {
+	if s.StoreAccesses == 0 {
+		return 0
+	}
+	return s.StoreMisses / s.StoreAccesses
+}
+
+// UVMStats counts unified-memory driver activity.
+type UVMStats struct {
+	PageFaults     float64 // GPU-side page faults raised
+	FaultBatches   float64 // fault groups serviced together
+	MigratedBytes  float64 // host->device on-demand migration volume
+	PrefetchBytes  float64 // host->device prefetched volume
+	WritebackBytes float64 // device->host writeback volume
+	EvictedBytes   float64 // bytes evicted under memory pressure
+}
+
+// Add accumulates o into u.
+func (u *UVMStats) Add(o UVMStats) {
+	u.PageFaults += o.PageFaults
+	u.FaultBatches += o.FaultBatches
+	u.MigratedBytes += o.MigratedBytes
+	u.PrefetchBytes += o.PrefetchBytes
+	u.WritebackBytes += o.WritebackBytes
+	u.EvictedBytes += o.EvictedBytes
+}
+
+// Set is the full counter group for one run (one process execution in
+// the paper's methodology).
+type Set struct {
+	Inst InstMix
+	L1   L1Stats
+	UVM  UVMStats
+
+	// Explicit-transfer volumes (cudaMemcpy engine).
+	H2DBytes float64
+	D2HBytes float64
+
+	// Occupancy bookkeeping: integral of (active warps / max warps) over
+	// kernel execution, and total kernel busy time, so that
+	// Occupancy() = time-weighted average occupancy as CUPTI reports it.
+	occupancyIntegral float64
+	kernelBusy        float64
+}
+
+// Merge accumulates o into s.
+func (s *Set) Merge(o *Set) {
+	s.Inst.Add(o.Inst)
+	s.L1.Add(o.L1)
+	s.UVM.Add(o.UVM)
+	s.H2DBytes += o.H2DBytes
+	s.D2HBytes += o.D2HBytes
+	s.occupancyIntegral += o.occupancyIntegral
+	s.kernelBusy += o.kernelBusy
+}
+
+// RecordKernel adds a kernel span with the given time-average occupancy
+// (fraction of maximum resident warps, 0..1).
+func (s *Set) RecordKernel(duration, occupancy float64) {
+	if duration < 0 {
+		panic("counters: negative kernel duration")
+	}
+	s.occupancyIntegral += duration * occupancy
+	s.kernelBusy += duration
+}
+
+// Occupancy returns the time-weighted average SM occupancy across all
+// recorded kernels, or 0 if none ran.
+func (s *Set) Occupancy() float64 {
+	if s.kernelBusy == 0 {
+		return 0
+	}
+	return s.occupancyIntegral / s.kernelBusy
+}
+
+// KernelBusy returns the summed kernel execution time.
+func (s *Set) KernelBusy() float64 { return s.kernelBusy }
+
+// Reset zeroes the set for reuse.
+func (s *Set) Reset() { *s = Set{} }

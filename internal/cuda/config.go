@@ -1,0 +1,53 @@
+package cuda
+
+import (
+	"uvmasim/internal/devmem"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/hostmem"
+	"uvmasim/internal/pcie"
+	"uvmasim/internal/uvm"
+)
+
+// SystemConfig assembles the whole heterogeneous system model.
+type SystemConfig struct {
+	GPU   gpu.Config
+	PCIe  pcie.Config
+	Host  hostmem.Config
+	UVM   uvm.Config
+	Alloc devmem.CostModel
+
+	// SystemOverheadNs is the fixed per-process cost (CUDA context
+	// creation, module loading, profiler attach) visible as the common
+	// floor of the Figure 4 Tiny-input measurements (~0.2 s).
+	SystemOverheadNs float64
+	// OverheadJitterRel is the relative run-to-run jitter of the fixed
+	// overhead and allocation costs.
+	OverheadJitterRel float64
+	// KernelLaunchNs is the per-launch driver cost.
+	KernelLaunchNs float64
+	// ManagedCapacityFraction bounds the share of device memory that
+	// managed chunks may occupy before the driver starts evicting.
+	ManagedCapacityFraction float64
+	// HostConsumeFraction is the share of an output buffer the host
+	// actually touches when consuming results (Consume); UVM writes back
+	// only these pages.
+	HostConsumeFraction float64
+}
+
+// DefaultSystemConfig models the paper's testbed: an A100-40GB attached
+// to a 16-chip EPYC host over PCIe 4.0 x16.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		GPU:   gpu.A100(),
+		PCIe:  pcie.DefaultConfig(),
+		Host:  hostmem.DefaultConfig(),
+		UVM:   uvm.DefaultConfig(),
+		Alloc: devmem.DefaultCostModel(),
+
+		SystemOverheadNs:        1.9e8,
+		OverheadJitterRel:       0.03,
+		KernelLaunchNs:          6e3,
+		ManagedCapacityFraction: 0.95,
+		HostConsumeFraction:     1.0 / 16,
+	}
+}

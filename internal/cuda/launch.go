@@ -1,0 +1,211 @@
+package cuda
+
+import (
+	"fmt"
+
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/sim"
+)
+
+// Launch describes one kernel invocation: its analytic work spec, the
+// buffers it reads and writes, and an optional functional body executed
+// at launch (used by tests and examples to compute real results).
+type Launch struct {
+	Spec   gpu.KernelSpec
+	Reads  []*Buffer
+	Writes []*Buffer
+	// SharedPerBlockKB overrides the shared allocation for this launch
+	// only (0 = context/default).
+	SharedPerBlockKB float64
+	// SequentialDemand marks kernels whose page-level demand order is a
+	// linear sweep even though their element-level access pattern is
+	// irregular (nw's wavefronts, kmeans' point scan). The UVM driver's
+	// density prefetcher coalesces such fault streams.
+	SequentialDemand bool
+	// Body, when non-nil, performs the kernel's real computation.
+	Body func()
+}
+
+// Launch executes a kernel under the context's setup:
+//
+//   - standard / async: inputs must have been Uploaded; the kernel runs
+//     for the analytic execution time.
+//   - uvm: the kernel demand-faults input chunks as its progress cursor
+//     reaches them, serializing fault batches and migration with compute.
+//   - uvm_prefetch(_async): cudaMemPrefetchAsync is issued for every
+//     input first; the kernel then consumes chunks as they arrive. For
+//     regular access patterns demand follows the prefetch stream (a clean
+//     software pipeline); for irregular ones demand order is shuffled, so
+//     the kernel races ahead of the stream and faults anyway — the reason
+//     lud gains nothing from prefetching (§4.1.2).
+func (c *Context) Launch(l Launch) error {
+	for _, b := range append(append([]*Buffer{}, l.Reads...), l.Writes...) {
+		if b == nil || b.freed {
+			return fmt.Errorf("cuda: launch %q uses an invalid buffer", l.Spec.Name)
+		}
+		if b.managed != c.setup.Managed() {
+			return fmt.Errorf("cuda: launch %q: buffer %q allocation kind does not match setup %v",
+				l.Spec.Name, b.Name, c.setup)
+		}
+	}
+	if err := l.Spec.Validate(); err != nil {
+		return err
+	}
+
+	c.now += c.cfg.KernelLaunchNs
+
+	// Prefetch pass (uvm_prefetch*): one driver call per input region.
+	// The prefetch operations are enqueued on the kernel's stream, so the
+	// kernel waits for them — the transfer is moved off the fault path
+	// (and up to streaming efficiency) rather than overlapped with this
+	// kernel. Redundant prefetches of resident data still serialize their
+	// driver bookkeeping, which is what hurts multi-launch workloads like
+	// nw (§4.1.2).
+	if c.setup.Prefetch() {
+		streamReady := c.now
+		for _, b := range l.Reads {
+			end := c.mgr.PrefetchRegion(b.region, c.now)
+			c.now += c.cfg.UVM.PrefetchCallNs
+			if end > streamReady {
+				streamReady = end
+			}
+		}
+		if streamReady > c.now {
+			c.now = streamReady
+		}
+	}
+
+	res := c.model.Launch(l.Spec, c.execConfig(l.SharedPerBlockKB, l.SequentialDemand))
+	start := c.now
+	end := start + res.ExecTime*c.jitter(0.005)
+
+	if c.setup.Managed() {
+		end = c.paceManaged(l, res, start)
+	}
+
+	for _, b := range l.Writes {
+		if b.managed {
+			c.mgr.MarkDeviceWritten(b.region, end)
+			c.mgr.MarkDirty(b.region, 0, b.Size)
+		}
+	}
+
+	dur := end - start
+	c.kernelSpans = append(c.kernelSpans, sim.Interval{Start: start, End: end})
+	c.ctrs.RecordKernel(dur, res.Occ.Fraction)
+	c.ctrs.Inst.Add(res.Inst)
+	c.ctrs.L1.Add(res.L1)
+	c.now = end
+
+	if l.Body != nil {
+		l.Body()
+	}
+	return nil
+}
+
+// paceManaged walks the kernel's input chunks through the UVM manager,
+// interleaving demand migration with compute progress, and returns the
+// kernel end time.
+func (c *Context) paceManaged(l Launch, res gpu.LaunchResult, start float64) float64 {
+	type demand struct {
+		buf *Buffer
+		idx int
+	}
+	var seq []demand
+	var totalBytes int64
+	for _, b := range l.Reads {
+		for i := 0; i < b.region.NumChunks(); i++ {
+			seq = append(seq, demand{b, i})
+		}
+		totalBytes += b.Size
+	}
+	if len(seq) == 0 || totalBytes == 0 {
+		return start + res.ExecTime*c.jitter(0.005)
+	}
+
+	// Demand order: regular kernels touch pages in address order;
+	// irregular ones effectively shuffle it, unless the workload marked
+	// its page-level demand as a linear sweep.
+	sequential := l.SequentialDemand
+	if !sequential {
+		switch l.Spec.Access {
+		case gpu.Irregular, gpu.Random:
+			c.rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		default:
+			sequential = true
+		}
+	}
+
+	// Demand migration efficiency depends on how well the driver's
+	// density prefetcher coalesces the kernel's fault stream.
+	patternEff := 1.0
+	if !sequential {
+		switch l.Spec.Access {
+		case gpu.Strided:
+			patternEff = 0.88
+		case gpu.Irregular:
+			patternEff = 0.55
+		default: // Random
+			patternEff = 0.38
+		}
+	}
+
+	computePerByte := res.ExecTime / float64(totalBytes) * c.jitter(0.005)
+	cursor := start
+	chunkBytes := c.cfg.UVM.ChunkBytes
+	for _, d := range seq {
+		size := chunkBytes
+		if rem := d.buf.Size - int64(d.idx)*chunkBytes; rem < size {
+			size = rem
+		}
+		avail := c.mgr.DemandChunk(d.buf.region, d.idx, cursor, patternEff, sequential)
+		cursor = avail + float64(size)*computePerByte
+	}
+	return cursor
+}
+
+// Breakdown is the paper's execution-time decomposition: data allocation
+// (cudaMalloc/cudaMallocManaged/cudaFree), CPU-GPU data transfer, and GPU
+// kernel time, plus the fixed process overhead and the wall total.
+type Breakdown struct {
+	Alloc    float64
+	Memcpy   float64
+	Kernel   float64
+	Overhead float64
+	Total    float64
+}
+
+// Breakdown reports the run's decomposition. Transfer activity that
+// overlapped a kernel span is attributed to Memcpy and removed from the
+// Kernel component, matching how the paper's CUPTI-based tooling
+// attributes concurrent UVM migration.
+func (c *Context) Breakdown() Breakdown {
+	memTotal := c.bus.BusyTotal()
+	kernel := 0.0
+	for _, span := range c.kernelSpans {
+		k := span.Len() - c.bus.BusyWithin(span.Start, span.End)
+		if k > 0 {
+			kernel += k
+		}
+	}
+	wall := c.now
+	if t := c.bus.H2D.BusyUntil(); t > wall {
+		wall = t
+	}
+	if t := c.bus.D2H.BusyUntil(); t > wall {
+		wall = t
+	}
+	return Breakdown{
+		Alloc:    c.allocBusy,
+		Memcpy:   memTotal,
+		Kernel:   kernel,
+		Overhead: c.overhead,
+		Total:    wall + c.overhead,
+	}
+}
+
+// KernelSpans exposes the recorded kernel intervals (tests and the
+// multi-job pipeline analysis use them).
+func (c *Context) KernelSpans() []sim.Interval {
+	return append([]sim.Interval(nil), c.kernelSpans...)
+}

@@ -1,0 +1,73 @@
+// Package cuda is the simulated CUDA runtime the workloads program
+// against. It exposes the paper's five data-transfer configurations
+// (standard, async, uvm, uvm_prefetch, uvm_prefetch_async), a CUDA-shaped
+// API (Malloc/MallocManaged/Free, MemcpyH2D/D2H, kernel launch,
+// Synchronize) and the execution-time breakdown the paper's harness
+// measures: data allocation, CPU-GPU data transfer, and GPU kernel time.
+package cuda
+
+import "fmt"
+
+// Setup is one of the paper's five architecture configurations (§3.1.3).
+type Setup int
+
+const (
+	// Standard uses explicit cudaMalloc + cudaMemcpy, synchronous tile
+	// staging.
+	Standard Setup = iota
+	// Async keeps explicit transfers but stages tiles with memcpy_async.
+	Async
+	// UVM uses cudaMallocManaged with on-demand page migration.
+	UVM
+	// UVMPrefetch adds cudaMemPrefetchAsync streaming to UVM.
+	UVMPrefetch
+	// UVMPrefetchAsync combines UVM, prefetch and memcpy_async — the
+	// full three-stage pipeline of Figure 1.
+	UVMPrefetchAsync
+)
+
+// AllSetups lists the five configurations in the paper's presentation
+// order.
+var AllSetups = []Setup{Standard, Async, UVM, UVMPrefetch, UVMPrefetchAsync}
+
+// String returns the paper's name for the setup.
+func (s Setup) String() string {
+	switch s {
+	case Standard:
+		return "standard"
+	case Async:
+		return "async"
+	case UVM:
+		return "uvm"
+	case UVMPrefetch:
+		return "uvm_prefetch"
+	case UVMPrefetchAsync:
+		return "uvm_prefetch_async"
+	}
+	return fmt.Sprintf("Setup(%d)", int(s))
+}
+
+// ParseSetup resolves a setup by its paper name.
+func ParseSetup(name string) (Setup, error) {
+	for _, s := range AllSetups {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("cuda: unknown setup %q", name)
+}
+
+// Managed reports whether buffers allocate through cudaMallocManaged.
+func (s Setup) Managed() bool {
+	return s == UVM || s == UVMPrefetch || s == UVMPrefetchAsync
+}
+
+// Prefetch reports whether cudaMemPrefetchAsync is issued before kernels.
+func (s Setup) Prefetch() bool {
+	return s == UVMPrefetch || s == UVMPrefetchAsync
+}
+
+// AsyncCopy reports whether kernels stage tiles with memcpy_async.
+func (s Setup) AsyncCopy() bool {
+	return s == Async || s == UVMPrefetchAsync
+}

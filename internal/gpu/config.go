@@ -1,0 +1,102 @@
+// Package gpu models an Ampere-class GPU at the granularity the paper's
+// analysis needs: SM occupancy, a latency-hiding memory throughput model,
+// the unified L1/shared-memory partition, the synchronous
+// (global->register->shared) versus asynchronous (global->shared,
+// memcpy_async) staging paths, and the instruction-mix and cache counters
+// behind Figures 9, 10, 12 and 13.
+//
+// The model is analytic per kernel launch: given a KernelSpec describing
+// the kernel's work (total bytes, flops, tile geometry, access pattern)
+// and an ExecConfig describing the launch environment (async staging
+// on/off, managed memory on/off, L1/shared partition), it produces the
+// in-SM execution time assuming all data is resident, plus the counter
+// deltas. Data-arrival stalls (UVM faults, prefetch pipelines) are
+// simulated on top of this by the uvm and cuda packages.
+package gpu
+
+// Config describes the modelled GPU. Defaults follow the Nvidia A100
+// (SXM4 40 GB) used in the paper.
+type Config struct {
+	SMs             int     // streaming multiprocessors
+	CoresPerSM      int     // FP32 CUDA cores per SM
+	ClockGHz        float64 // SM clock
+	MaxThreadsPerSM int     // resident thread limit per SM
+	MaxBlocksPerSM  int     // resident block limit per SM
+	MaxWarpsPerSM   int     // resident warp limit per SM
+	WarpSize        int
+
+	HBMBandwidthGBs float64 // peak device-memory bandwidth
+	HBMLatencyNs    float64 // average global-memory load latency
+	HBMCapacity     int64   // device memory bytes
+
+	UnifiedCacheKB int // unified L1/texture/shared capacity per SM
+	MaxSharedKB    int // largest shared-memory carveout per SM
+	MinL1KB        int // L1 floor when shared memory is maximized
+
+	// SyncInflightBytes is the per-thread in-flight byte budget of the
+	// synchronous load path (limited by registers and load-queue slots).
+	SyncInflightBytes float64
+	// CacheLineBytes is the L1 sector size used for traffic accounting.
+	CacheLineBytes float64
+}
+
+// A100 returns the configuration of the paper's evaluation GPU.
+func A100() Config {
+	return Config{
+		SMs:             108,
+		CoresPerSM:      64,
+		ClockGHz:        1.41,
+		MaxThreadsPerSM: 2048,
+		MaxBlocksPerSM:  32,
+		MaxWarpsPerSM:   64,
+		WarpSize:        32,
+
+		HBMBandwidthGBs: 1555,
+		HBMLatencyNs:    400,
+		HBMCapacity:     40 << 30,
+
+		UnifiedCacheKB: 192,
+		MaxSharedKB:    164,
+		MinL1KB:        28,
+
+		SyncInflightBytes: 96,
+		CacheLineBytes:    32,
+	}
+}
+
+// FlopsPerNs returns the peak FP32 throughput in flops per nanosecond
+// (FMA counted as two flops).
+func (c Config) FlopsPerNs() float64 {
+	return float64(c.SMs*c.CoresPerSM) * 2 * c.ClockGHz
+}
+
+// IntOpsPerNs returns the peak integer/control throughput in operations
+// per nanosecond (one op per core-cycle).
+func (c Config) IntOpsPerNs() float64 {
+	return float64(c.SMs*c.CoresPerSM) * c.ClockGHz
+}
+
+// HBMBytesPerNs returns peak HBM bandwidth in bytes/ns.
+func (c Config) HBMBytesPerNs() float64 { return c.HBMBandwidthGBs }
+
+// ClampSharedKB clamps a requested shared-memory carveout to the legal
+// per-SM range [0, MaxSharedKB].
+func (c Config) ClampSharedKB(kb float64) float64 {
+	if kb < 0 {
+		return 0
+	}
+	if kb > float64(c.MaxSharedKB) {
+		return float64(c.MaxSharedKB)
+	}
+	return kb
+}
+
+// L1KB returns the L1/texture capacity left after a shared-memory
+// carveout of sharedKB, never below MinL1KB.
+func (c Config) L1KB(sharedKB float64) float64 {
+	l1 := float64(c.UnifiedCacheKB) - c.ClampSharedKB(sharedKB)
+	if l1 < float64(c.MinL1KB) {
+		l1 = float64(c.MinL1KB)
+	}
+	return l1
+}

@@ -1,0 +1,217 @@
+// Package hostmem models the host-side DRAM of the heterogeneous system:
+// a set of DRAM chips with individual capacities and an ambient occupancy
+// that varies run to run (other processes, the OS page cache, ...).
+//
+// The model exists to reproduce the paper's Figure 6 / Takeaway 1: when a
+// benchmark's memory footprint approaches the capacity of a single DRAM
+// chip (64 GB on the authors' EPYC host), allocations are likely to
+// straddle a chip boundary, and host->device copies from a straddling
+// buffer show large run-to-run bandwidth variance. Far below the chip
+// size, buffers almost always land on one chip and copies are stable.
+package hostmem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config describes the host memory system.
+type Config struct {
+	Chips        int   // number of DRAM chips
+	ChipCapacity int64 // bytes per chip
+	// AmbientMin/AmbientMax bound the fraction of each chip already in
+	// use by the rest of the system; a fresh value is drawn per chip on
+	// each Randomize call.
+	AmbientMin float64
+	AmbientMax float64
+	// CrossPenalty is the fractional slowdown applied to the spilled
+	// portion of a cross-chip copy (before jitter).
+	CrossPenalty float64
+	// CrossJitter bounds the multiplicative jitter (+/-) applied to the
+	// penalty per copy, modelling interleaving and NUMA routing luck.
+	CrossJitter float64
+}
+
+// DefaultConfig models the paper's host: 16 x 64 GB DDR4-3200.
+func DefaultConfig() Config {
+	return Config{
+		Chips:        16,
+		ChipCapacity: 64 << 30,
+		AmbientMin:   0.30,
+		AmbientMax:   0.92,
+		CrossPenalty: 1.6,
+		CrossJitter:  0.75,
+	}
+}
+
+// Segment is a portion of an allocation resident on one chip.
+type Segment struct {
+	Chip  int
+	Bytes int64
+}
+
+// Placement describes where an allocation landed.
+type Placement struct {
+	Size     int64
+	Segments []Segment
+}
+
+// Spilled reports how many bytes live outside the primary (first) chip.
+func (p Placement) Spilled() int64 {
+	var s int64
+	for _, seg := range p.Segments[1:] {
+		s += seg.Bytes
+	}
+	return s
+}
+
+// SpillFraction is Spilled()/Size, in [0,1]. Zero-size placements spill 0.
+func (p Placement) SpillFraction() float64 {
+	if p.Size == 0 {
+		return 0
+	}
+	return float64(p.Spilled()) / float64(p.Size)
+}
+
+// Memory is the host DRAM allocator/model. It is not safe for concurrent
+// use; the simulator is single-threaded.
+type Memory struct {
+	cfg       Config
+	ambient   []int64 // bytes consumed by "the rest of the system" per chip
+	used      []int64 // bytes consumed by our allocations per chip
+	allocs    map[int64]Placement
+	nextID    int64
+	preferred int // NUMA-local chip that first-touch placement starts on
+}
+
+// New creates a Memory with zero ambient occupancy. Call Randomize before
+// each measured run to model a fresh system state.
+func New(cfg Config) *Memory {
+	if cfg.Chips <= 0 || cfg.ChipCapacity <= 0 {
+		panic("hostmem: config must have positive chips and capacity")
+	}
+	return &Memory{
+		cfg:     cfg,
+		ambient: make([]int64, cfg.Chips),
+		used:    make([]int64, cfg.Chips),
+		allocs:  make(map[int64]Placement),
+	}
+}
+
+// Config returns the memory system's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// TotalCapacity returns the aggregate capacity across chips.
+func (m *Memory) TotalCapacity() int64 {
+	return int64(m.cfg.Chips) * m.cfg.ChipCapacity
+}
+
+// Randomize draws a fresh ambient occupancy for every chip and a fresh
+// preferred (NUMA-local) chip for first-touch placement. Existing
+// allocations are preserved; only the background state changes.
+func (m *Memory) Randomize(rng *rand.Rand) {
+	span := m.cfg.AmbientMax - m.cfg.AmbientMin
+	for i := range m.ambient {
+		frac := m.cfg.AmbientMin + rng.Float64()*span
+		m.ambient[i] = int64(frac * float64(m.cfg.ChipCapacity))
+	}
+	m.preferred = rng.Intn(m.cfg.Chips)
+}
+
+// free returns the free bytes on chip i.
+func (m *Memory) free(i int) int64 {
+	f := m.cfg.ChipCapacity - m.ambient[i] - m.used[i]
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// FreeBytes returns the total free bytes across all chips.
+func (m *Memory) FreeBytes() int64 {
+	var s int64
+	for i := range m.ambient {
+		s += m.free(i)
+	}
+	return s
+}
+
+// Alloc places size bytes with a first-touch NUMA policy: the preferred
+// (local) chip fills first, and the remainder spills onto subsequent
+// chips in order. This locality-first behaviour — rather than a globally
+// balanced one — is what makes near-chip-capacity footprints straddle a
+// boundary with high probability (Figure 6). It returns an id (for Free)
+// and the placement, or an error when the host is out of memory.
+func (m *Memory) Alloc(size int64) (int64, Placement, error) {
+	if size <= 0 {
+		return 0, Placement{}, fmt.Errorf("hostmem: invalid allocation size %d", size)
+	}
+	if size > m.FreeBytes() {
+		return 0, Placement{}, fmt.Errorf("hostmem: out of memory: need %d, free %d", size, m.FreeBytes())
+	}
+	order := make([]int, m.cfg.Chips)
+	for i := range order {
+		order[i] = (m.preferred + i) % m.cfg.Chips
+	}
+	p := Placement{Size: size}
+	remaining := size
+	for _, chip := range order {
+		if remaining == 0 {
+			break
+		}
+		take := m.free(chip)
+		if take > remaining {
+			take = remaining
+		}
+		if take == 0 {
+			continue
+		}
+		m.used[chip] += take
+		p.Segments = append(p.Segments, Segment{Chip: chip, Bytes: take})
+		remaining -= take
+	}
+	if remaining != 0 {
+		panic("hostmem: accounting error, free bytes changed during alloc")
+	}
+	m.nextID++
+	m.allocs[m.nextID] = p
+	return m.nextID, p, nil
+}
+
+// Free releases the allocation with the given id. Freeing an unknown id
+// returns an error so double frees surface in tests.
+func (m *Memory) Free(id int64) error {
+	p, ok := m.allocs[id]
+	if !ok {
+		return fmt.Errorf("hostmem: free of unknown allocation %d", id)
+	}
+	for _, seg := range p.Segments {
+		m.used[seg.Chip] -= seg.Bytes
+		if m.used[seg.Chip] < 0 {
+			panic("hostmem: negative usage after free")
+		}
+	}
+	delete(m.allocs, id)
+	return nil
+}
+
+// CopyEfficiency returns the effective link efficiency (0, 1] for a bulk
+// copy out of (or into) the placed buffer. Single-chip placements copy at
+// full efficiency; the spilled fraction pays CrossPenalty modulated by a
+// per-copy jitter drawn from rng. This is the mechanism behind the
+// unstable Mega-input memcpy times of Figure 6.
+func (m *Memory) CopyEfficiency(p Placement, rng *rand.Rand) float64 {
+	sf := p.SpillFraction()
+	if sf == 0 {
+		return 1
+	}
+	jitter := 1 + m.cfg.CrossJitter*(2*rng.Float64()-1)
+	if jitter < 0.05 {
+		jitter = 0.05
+	}
+	slowdown := 1 + sf*m.cfg.CrossPenalty*jitter
+	return 1 / slowdown
+}
+
+// LiveAllocations reports how many allocations are outstanding.
+func (m *Memory) LiveAllocations() int { return len(m.allocs) }

@@ -1,0 +1,212 @@
+package hostmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"uvmasim/internal/stats"
+)
+
+func testConfig() Config {
+	return Config{
+		Chips:        4,
+		ChipCapacity: 1000,
+		AmbientMin:   0.1,
+		AmbientMax:   0.5,
+		CrossPenalty: 1.5,
+		CrossJitter:  0.5,
+	}
+}
+
+func TestAllocSingleChip(t *testing.T) {
+	m := New(testConfig())
+	id, p, err := m.Alloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 1 {
+		t.Fatalf("want single segment, got %v", p.Segments)
+	}
+	if p.SpillFraction() != 0 {
+		t.Errorf("spill fraction = %v, want 0", p.SpillFraction())
+	}
+	if err := m.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveAllocations() != 0 {
+		t.Errorf("live allocations = %d", m.LiveAllocations())
+	}
+}
+
+func TestAllocSpillsAcrossChips(t *testing.T) {
+	m := New(testConfig())
+	_, p, err := m.Alloc(2500) // cannot fit on one 1000-byte chip
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) < 3 {
+		t.Fatalf("expected >=3 segments, got %v", p.Segments)
+	}
+	var total int64
+	for _, s := range p.Segments {
+		total += s.Bytes
+	}
+	if total != 2500 {
+		t.Errorf("segments total %d, want 2500", total)
+	}
+	if p.SpillFraction() <= 0 {
+		t.Errorf("expected positive spill fraction")
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	m := New(testConfig())
+	if _, _, err := m.Alloc(5000); err == nil {
+		t.Error("expected out-of-memory error")
+	}
+	if _, _, err := m.Alloc(0); err == nil {
+		t.Error("expected error on zero-size allocation")
+	}
+	if _, _, err := m.Alloc(-5); err == nil {
+		t.Error("expected error on negative allocation")
+	}
+}
+
+func TestFreeUnknown(t *testing.T) {
+	m := New(testConfig())
+	if err := m.Free(42); err == nil {
+		t.Error("expected error freeing unknown id")
+	}
+}
+
+func TestAllocFreeCycleRestoresSpace(t *testing.T) {
+	m := New(testConfig())
+	before := m.FreeBytes()
+	for i := 0; i < 10; i++ {
+		id, _, err := m.Alloc(3500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FreeBytes() != before {
+		t.Errorf("free bytes %d, want %d after alloc/free cycles", m.FreeBytes(), before)
+	}
+}
+
+func TestRandomizeChangesAmbient(t *testing.T) {
+	m := New(testConfig())
+	rng := rand.New(rand.NewSource(1))
+	m.Randomize(rng)
+	f1 := m.FreeBytes()
+	if f1 >= m.TotalCapacity() {
+		t.Errorf("ambient occupancy should reduce free bytes")
+	}
+	// Free bytes must stay within the configured ambient band.
+	minFree := int64(float64(m.TotalCapacity()) * (1 - testConfig().AmbientMax))
+	maxFree := int64(float64(m.TotalCapacity()) * (1 - testConfig().AmbientMin))
+	if f1 < minFree || f1 > maxFree {
+		t.Errorf("free bytes %d outside ambient band [%d,%d]", f1, minFree, maxFree)
+	}
+}
+
+func TestCopyEfficiencySingleChipIsPerfect(t *testing.T) {
+	m := New(testConfig())
+	rng := rand.New(rand.NewSource(2))
+	_, p, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if eff := m.CopyEfficiency(p, rng); eff != 1 {
+			t.Fatalf("single-chip efficiency = %v, want 1", eff)
+		}
+	}
+}
+
+func TestCopyEfficiencySpilledIsSlowerAndNoisy(t *testing.T) {
+	m := New(testConfig())
+	rng := rand.New(rand.NewSource(3))
+	_, p, err := m.Alloc(2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effs := make([]float64, 200)
+	for i := range effs {
+		effs[i] = m.CopyEfficiency(p, rng)
+		if effs[i] >= 1 || effs[i] <= 0 {
+			t.Fatalf("spilled efficiency %v out of (0,1)", effs[i])
+		}
+	}
+	if stats.Std(effs) == 0 {
+		t.Errorf("spilled copies should jitter run to run")
+	}
+}
+
+// The Figure 6 / Takeaway 1 mechanism: footprints near the chip capacity
+// must show much larger memcpy variance than small footprints.
+func TestNearCapacityFootprintIsUnstable(t *testing.T) {
+	cfg := DefaultConfig()
+	variance := func(size int64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		effs := make([]float64, 30)
+		for i := range effs {
+			m := New(cfg)
+			m.Randomize(rng)
+			_, p, err := m.Alloc(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			effs[i] = m.CopyEfficiency(p, rng)
+		}
+		return stats.CoefVar(effs)
+	}
+	small := variance(4<<30, 10) // Super: 4 GB
+	big := variance(32<<30, 10)  // Mega: 32 GB, near 64 GB chip
+	if big <= small+0.01 {
+		t.Errorf("Mega-size copies should be noisier: cv(4GB)=%v cv(32GB)=%v", small, big)
+	}
+}
+
+// Property: allocations never exceed per-chip capacity and always sum to
+// the requested size.
+func TestQuickAllocInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		cfg := testConfig()
+		m := New(cfg)
+		m.Randomize(rng)
+		var ids []int64
+		for j := 0; j < 10; j++ {
+			size := int64(1 + rng.Intn(1200))
+			id, p, err := m.Alloc(size)
+			if err != nil {
+				continue // legitimately out of memory
+			}
+			var total int64
+			for _, s := range p.Segments {
+				total += s.Bytes
+				if s.Chip < 0 || s.Chip >= cfg.Chips {
+					t.Fatalf("segment on bogus chip %d", s.Chip)
+				}
+				if s.Bytes <= 0 {
+					t.Fatalf("non-positive segment %v", s)
+				}
+			}
+			if total != size {
+				t.Fatalf("placement total %d != size %d", total, size)
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if err := m.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.LiveAllocations() != 0 {
+			t.Fatalf("leaked allocations")
+		}
+	}
+}

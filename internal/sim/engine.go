@@ -1,0 +1,114 @@
+// Package sim implements the small discrete-event simulation engine that
+// drives the CPU-GPU system model: an event queue ordered by virtual time,
+// FIFO bandwidth links with busy-interval accounting, and helpers for
+// measuring spans of activity.
+//
+// Virtual time is measured in nanoseconds and represented as float64 so
+// cost models can produce fractional durations without rounding artifacts.
+// Event delivery is deterministic: events at equal timestamps fire in the
+// order they were scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; create one with New.
+type Engine struct {
+	now      float64
+	seq      uint64
+	pq       eventHeap
+	executed uint64
+}
+
+// New returns an Engine with the clock at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed reports how many events have fired so far, which tests use to
+// bound simulation work.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a broken cost model rather than a recoverable
+// condition.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative delays panic.
+func (e *Engine) After(d float64, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final clock.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (if it is ahead of the last event). Events scheduled beyond t stay
+// queued.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

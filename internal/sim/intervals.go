@@ -1,0 +1,77 @@
+package sim
+
+// Interval is a half-open span [Start, End) of virtual time in ns.
+type Interval struct {
+	Start, End float64
+}
+
+// Len returns the duration of the interval.
+func (iv Interval) Len() float64 { return iv.End - iv.Start }
+
+// IntervalSet accumulates busy intervals of a resource. Intervals must be
+// added in non-decreasing start order (which FIFO links guarantee);
+// overlapping or adjacent intervals are merged so the set stays compact.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// Add records the busy span [start, end). Zero- or negative-length spans
+// are ignored.
+func (s *IntervalSet) Add(start, end float64) {
+	if end <= start {
+		return
+	}
+	n := len(s.ivs)
+	if n > 0 && start <= s.ivs[n-1].End {
+		// Merge with the previous interval.
+		if end > s.ivs[n-1].End {
+			s.ivs[n-1].End = end
+		}
+		if start < s.ivs[n-1].Start {
+			s.ivs[n-1].Start = start
+		}
+		return
+	}
+	s.ivs = append(s.ivs, Interval{start, end})
+}
+
+// Total returns the summed busy time across all intervals.
+func (s *IntervalSet) Total() float64 {
+	sum := 0.0
+	for _, iv := range s.ivs {
+		sum += iv.Len()
+	}
+	return sum
+}
+
+// Overlap returns the amount of busy time that falls inside [a, b).
+func (s *IntervalSet) Overlap(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	sum := 0.0
+	for _, iv := range s.ivs {
+		lo, hi := iv.Start, iv.End
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			sum += hi - lo
+		}
+	}
+	return sum
+}
+
+// Count returns the number of merged intervals in the set.
+func (s *IntervalSet) Count() int { return len(s.ivs) }
+
+// Reset clears the set for reuse.
+func (s *IntervalSet) Reset() { s.ivs = s.ivs[:0] }
+
+// Intervals returns a copy of the merged interval list.
+func (s *IntervalSet) Intervals() []Interval {
+	return append([]Interval(nil), s.ivs...)
+}

@@ -1,0 +1,93 @@
+package sim
+
+// Link models a bandwidth-limited FIFO pipe: a PCIe direction, an HBM
+// channel group, or a DMA engine. Transfers queue behind each other; each
+// occupies the link for latency + size/bandwidth. Busy time is recorded in
+// an IntervalSet so the harness can attribute overlapped transfer time.
+type Link struct {
+	Name string
+
+	eng        *Engine
+	bytesPerNs float64 // peak bandwidth
+	busyUntil  float64
+	busy       IntervalSet
+}
+
+// NewLink creates a link on eng with the given peak bandwidth in bytes
+// per nanosecond. Since 1 GB/s equals exactly 1 byte/ns, callers can use
+// the GBPerSec helper to state bandwidths in familiar units.
+func NewLink(eng *Engine, name string, bytesPerNs float64) *Link {
+	if bytesPerNs <= 0 {
+		panic("sim: link bandwidth must be positive")
+	}
+	return &Link{Name: name, eng: eng, bytesPerNs: bytesPerNs}
+}
+
+// GBPerSec converts a bandwidth in gigabytes per second into the
+// bytes-per-nanosecond unit Links use. 1 GB/s == 1 byte/ns is a pleasant
+// coincidence of units (1e9 bytes / 1e9 ns).
+func GBPerSec(gbps float64) float64 { return gbps }
+
+// Bandwidth returns the link's peak bandwidth in bytes per nanosecond.
+func (l *Link) Bandwidth() float64 { return l.bytesPerNs }
+
+// SetBandwidth changes the link's peak bandwidth. Pending transfers keep
+// the duration computed when they were enqueued.
+func (l *Link) SetBandwidth(bytesPerNs float64) {
+	if bytesPerNs <= 0 {
+		panic("sim: link bandwidth must be positive")
+	}
+	l.bytesPerNs = bytesPerNs
+}
+
+// TransferTime returns the service time for size bytes at efficiency eff
+// (0 < eff <= 1) plus a fixed latency, without enqueuing anything.
+func (l *Link) TransferTime(size float64, latency, eff float64) float64 {
+	if eff <= 0 || eff > 1 {
+		panic("sim: transfer efficiency must be in (0,1]")
+	}
+	return latency + size/(l.bytesPerNs*eff)
+}
+
+// Transfer enqueues a transfer of size bytes with the given fixed latency
+// and link efficiency. done (may be nil) fires when the transfer leaves
+// the link; it receives the completion time. Transfer returns the
+// predicted completion time.
+func (l *Link) Transfer(size, latency, eff float64, done func(end float64)) float64 {
+	return l.TransferAt(l.eng.Now(), size, latency, eff, done)
+}
+
+// TransferAt is Transfer with an explicit earliest start time, which may
+// lie in the simulated future. Pipeline models use it to reserve link
+// time from a kernel's internal progress cursor without driving the
+// event loop. The transfer begins at max(earliest, link drain time).
+func (l *Link) TransferAt(earliest, size, latency, eff float64, done func(end float64)) float64 {
+	dur := l.TransferTime(size, latency, eff)
+	start := earliest
+	if now := l.eng.Now(); start < now {
+		start = now
+	}
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	end := start + dur
+	l.busyUntil = end
+	l.busy.Add(start, end)
+	if done != nil {
+		l.eng.At(end, func() { done(end) })
+	}
+	return end
+}
+
+// BusyUntil reports the time at which the link drains.
+func (l *Link) BusyUntil() float64 { return l.busyUntil }
+
+// Busy returns the link's busy-interval accounting set.
+func (l *Link) Busy() *IntervalSet { return &l.busy }
+
+// Reset clears busy accounting and queue state (for a fresh run on the
+// same engine).
+func (l *Link) Reset() {
+	l.busyUntil = 0
+	l.busy.Reset()
+}

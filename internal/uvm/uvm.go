@@ -1,0 +1,321 @@
+// Package uvm models Nvidia's Unified Virtual Memory driver as the paper
+// exercises it: managed regions whose pages materialize on the device on
+// first GPU touch (fault batches + on-demand migration over PCIe),
+// explicit cudaMemPrefetchAsync streaming, dirty writeback when the host
+// touches results, and LRU chunk eviction under device-memory pressure.
+//
+// Residency is tracked at the driver's migration granule (2 MB chunks);
+// faults are counted at the 64 KB fault-block granule within a chunk.
+// Timing is expressed through reservations on the pcie.Bus links, so UVM
+// traffic naturally contends with (and overlaps) everything else on the
+// interconnect — the mechanism behind the U1 pipeline stage of Figure 1.
+package uvm
+
+import (
+	"fmt"
+	"math"
+
+	"uvmasim/internal/counters"
+	"uvmasim/internal/pcie"
+)
+
+// Config tunes the driver model.
+type Config struct {
+	ChunkBytes          int64   // migration granule
+	FaultBlockBytes     int64   // fault granule (faults per chunk = chunk/block)
+	FaultBatchLatencyNs float64 // service latency of one fault batch (GPU stall)
+	PrefetchCallNs      float64 // driver overhead per cudaMemPrefetchAsync call
+	// ResidentPrefetchNsPerGB prices a cudaMemPrefetchAsync over
+	// already-resident pages: the driver still walks the range's page
+	// tables (CPU/stream time, no data movement) — the overhead that
+	// makes per-kernel prefetching hurt nw (§4.1.2).
+	ResidentPrefetchNsPerGB float64
+}
+
+// DefaultConfig follows published UVM measurements on Volta/Ampere
+// (fault service ~20-45 us per batch, 2 MB prefetch granularity).
+func DefaultConfig() Config {
+	return Config{
+		ChunkBytes:              2 << 20,
+		FaultBlockBytes:         64 << 10,
+		FaultBatchLatencyNs:     25e3,
+		PrefetchCallNs:          12e3,
+		ResidentPrefetchNsPerGB: 1e6,
+	}
+}
+
+// Region is one cudaMallocManaged allocation.
+type Region struct {
+	id   int64
+	Size int64
+
+	arrival []float64 // per-chunk availability time; +Inf = not resident
+	lastUse []int64   // LRU stamps
+	dirty   []bool    // chunk written by the device since last writeback
+}
+
+// NumChunks returns the number of migration granules in the region.
+func (r *Region) NumChunks() int { return len(r.arrival) }
+
+// Resident reports whether chunk idx is device-resident (now or at a
+// scheduled arrival).
+func (r *Region) Resident(idx int) bool { return !math.IsInf(r.arrival[idx], 1) }
+
+// ResidentChunks counts chunks with device residency.
+func (r *Region) ResidentChunks() int {
+	n := 0
+	for i := range r.arrival {
+		if r.Resident(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Manager is the UVM driver state for one device.
+type Manager struct {
+	cfg      Config
+	bus      *pcie.Bus
+	capacity int64 // device bytes available to managed memory
+
+	regions  map[int64]*Region
+	nextID   int64
+	resident int64 // managed bytes currently on-device
+	stamp    int64 // LRU clock
+
+	Stats *counters.UVMStats
+}
+
+// NewManager creates a Manager backed by bus with the given device
+// capacity budget for managed memory.
+func NewManager(cfg Config, bus *pcie.Bus, capacity int64, stats *counters.UVMStats) *Manager {
+	if cfg.ChunkBytes <= 0 || cfg.FaultBlockBytes <= 0 || cfg.FaultBlockBytes > cfg.ChunkBytes {
+		panic("uvm: invalid granule configuration")
+	}
+	if stats == nil {
+		stats = &counters.UVMStats{}
+	}
+	return &Manager{
+		cfg:      cfg,
+		bus:      bus,
+		capacity: capacity,
+		regions:  make(map[int64]*Region),
+		Stats:    stats,
+	}
+}
+
+// Config returns the manager configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// ResidentBytes returns managed bytes currently device-resident.
+func (m *Manager) ResidentBytes() int64 { return m.resident }
+
+// Register creates a managed region of size bytes. Pages start
+// host-resident (first-touch on device will fault them over).
+func (m *Manager) Register(size int64) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("uvm: invalid managed size %d", size)
+	}
+	n := int((size + m.cfg.ChunkBytes - 1) / m.cfg.ChunkBytes)
+	r := &Region{
+		Size:    size,
+		arrival: make([]float64, n),
+		lastUse: make([]int64, n),
+		dirty:   make([]bool, n),
+	}
+	for i := range r.arrival {
+		r.arrival[i] = math.Inf(1)
+	}
+	m.nextID++
+	r.id = m.nextID
+	m.regions[r.id] = r
+	return r, nil
+}
+
+// Unregister drops the region, releasing its device residency.
+func (m *Manager) Unregister(r *Region) error {
+	if _, ok := m.regions[r.id]; !ok {
+		return fmt.Errorf("uvm: unregister of unknown region %d", r.id)
+	}
+	for i := range r.arrival {
+		if r.Resident(i) {
+			m.resident -= m.chunkSize(r, i)
+		}
+	}
+	delete(m.regions, r.id)
+	return nil
+}
+
+// chunkSize returns the byte size of chunk idx (the tail chunk may be
+// short).
+func (m *Manager) chunkSize(r *Region, idx int) int64 {
+	if idx == r.NumChunks()-1 {
+		if rem := r.Size % m.cfg.ChunkBytes; rem != 0 {
+			return rem
+		}
+	}
+	return m.cfg.ChunkBytes
+}
+
+// touch stamps chunk idx as recently used.
+func (m *Manager) touch(r *Region, idx int) {
+	m.stamp++
+	r.lastUse[idx] = m.stamp
+}
+
+// makeRoom evicts least-recently-used resident chunks until need bytes
+// fit. Dirty victims are written back over PCIe at time t; eviction
+// completion can push the effective availability time forward, which the
+// caller receives.
+func (m *Manager) makeRoom(t float64, need int64) float64 {
+	ready := t
+	for m.resident+need > m.capacity {
+		var victim *Region
+		vIdx := -1
+		var oldest int64 = math.MaxInt64
+		for _, reg := range m.regions {
+			for i := range reg.arrival {
+				if reg.Resident(i) && reg.lastUse[i] < oldest {
+					oldest = reg.lastUse[i]
+					victim, vIdx = reg, i
+				}
+			}
+		}
+		if victim == nil {
+			panic(fmt.Sprintf("uvm: cannot evict to fit %d bytes in capacity %d", need, m.capacity))
+		}
+		size := m.chunkSize(victim, vIdx)
+		if victim.dirty[vIdx] {
+			end := m.bus.Writeback(ready, size)
+			m.Stats.WritebackBytes += float64(size)
+			ready = end
+			victim.dirty[vIdx] = false
+		}
+		victim.arrival[vIdx] = math.Inf(1)
+		m.resident -= size
+		m.Stats.EvictedBytes += float64(size)
+	}
+	return ready
+}
+
+// DemandChunk makes chunk idx available for a GPU access happening at
+// time t and returns the time the access can proceed. patternEff (0,1]
+// derates migration bandwidth for demand orders the driver prefetcher
+// cannot coalesce. coalesced marks a ramped sequential fault stream, in
+// which the driver's density prefetcher amortizes one fault batch over
+// many migration granules.
+//
+//   - Resident and arrived: proceed at t.
+//   - In flight (prefetch racing demand): a fault is still raised; the
+//     access proceeds at max(arrival, t+batch latency).
+//   - Not resident: fault batch + on-demand migration.
+func (m *Manager) DemandChunk(r *Region, idx int, t float64, patternEff float64, coalesced bool) float64 {
+	m.touch(r, idx)
+	if r.Resident(idx) {
+		if arr := r.arrival[idx]; arr > t {
+			m.Stats.PageFaults++
+			m.Stats.FaultBatches++
+			wait := t + m.cfg.FaultBatchLatencyNs
+			if arr > wait {
+				wait = arr
+			}
+			return wait
+		}
+		return t
+	}
+	size := m.chunkSize(r, idx)
+	ready := m.makeRoom(t, size)
+	blocks := float64((size + m.cfg.FaultBlockBytes - 1) / m.cfg.FaultBlockBytes)
+	latency := m.cfg.FaultBatchLatencyNs
+	if coalesced {
+		latency /= 8
+		blocks /= 8
+	}
+	m.Stats.PageFaults += blocks
+	m.Stats.FaultBatches++
+	m.Stats.MigratedBytes += float64(size)
+	end := m.bus.MigrateOnDemand(ready+latency, size, patternEff)
+	r.arrival[idx] = end
+	m.resident += size
+	return end
+}
+
+// PrefetchRegion issues cudaMemPrefetchAsync for the whole region at time
+// t, streaming non-resident chunks over the H2D link in order. It returns
+// the time the prefetch stream drains. Already-resident chunks cost only
+// driver bookkeeping time (page-table walks, no link traffic).
+func (m *Manager) PrefetchRegion(r *Region, t float64) float64 {
+	end := t + m.cfg.PrefetchCallNs
+	for i := 0; i < r.NumChunks(); i++ {
+		size := m.chunkSize(r, i)
+		if r.Resident(i) {
+			end += float64(size) / float64(1<<30) * m.cfg.ResidentPrefetchNsPerGB
+			continue
+		}
+		ready := m.makeRoom(end, size)
+		end = m.bus.PrefetchChunk(ready, size)
+		r.arrival[i] = end
+		m.resident += size
+		m.Stats.PrefetchBytes += float64(size)
+		m.touch(r, i)
+	}
+	return end
+}
+
+// MarkDeviceWritten makes all of the region's chunks device-resident as
+// of time t without any transfer: a device-side write to a non-resident
+// managed page allocates it on the device (first touch), it does not
+// migrate stale host data.
+func (m *Manager) MarkDeviceWritten(r *Region, t float64) {
+	for i := range r.arrival {
+		if r.Resident(i) {
+			continue
+		}
+		size := m.chunkSize(r, i)
+		m.makeRoom(t, size)
+		r.arrival[i] = t
+		m.resident += size
+		m.touch(r, i)
+	}
+}
+
+// MarkDirty records that the device wrote the byte range [off, off+n).
+func (m *Manager) MarkDirty(r *Region, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := off / m.cfg.ChunkBytes
+	last := (off + n - 1) / m.cfg.ChunkBytes
+	for i := first; i <= last && int(i) < r.NumChunks(); i++ {
+		r.dirty[i] = true
+	}
+}
+
+// WritebackDirty migrates the region's dirty chunks back to the host
+// (the CPU touching results after cudaDeviceSynchronize), starting at t.
+// It returns the completion time. Chunks stay device-resident (UVM keeps
+// read duplicates).
+func (m *Manager) WritebackDirty(r *Region, t float64) float64 {
+	return m.WritebackPartial(r, t, r.Size)
+}
+
+// WritebackPartial migrates up to maxBytes of the region's dirty chunks
+// back to the host, starting at t, and returns the completion time. It
+// models a CPU consumer that touches only part of the result (checksums,
+// sampled verification) — with UVM, untouched dirty pages never cross
+// the bus, one of the paper's measured transfer savings.
+func (m *Manager) WritebackPartial(r *Region, t float64, maxBytes int64) float64 {
+	end := t
+	var moved int64
+	for i := 0; i < r.NumChunks() && moved < maxBytes; i++ {
+		if !r.dirty[i] {
+			continue
+		}
+		size := m.chunkSize(r, i)
+		end = m.bus.Writeback(end, size)
+		m.Stats.WritebackBytes += float64(size)
+		r.dirty[i] = false
+		moved += size
+	}
+	return end
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/kernels"
+)
+
+// backprop trains one step of a 2-layer perceptron (Rodinia): a forward
+// kernel propagates a huge input layer to a small hidden layer, and a
+// backward kernel adjusts the input->hidden weights. The weight matrix
+// dominates memory and is touched with a regular strided pattern.
+
+const backpropHidden = 16
+
+// bpForward computes the hidden activations: h = sigmoid(W^T x), where W
+// is (in+1) x hidden with row 0 holding the bias.
+func bpForward(w, input []float32, in, hidden int) []float32 {
+	h := make([]float32, hidden)
+	for j := 0; j < hidden; j++ {
+		sum := w[j] // bias row
+		for i := 1; i <= in; i++ {
+			sum += w[i*hidden+j] * input[i-1]
+		}
+		h[j] = float32(1 / (1 + math.Exp(-float64(sum))))
+	}
+	return h
+}
+
+// bpAdjust applies the gradient step to the weights in place:
+// w[i][j] += eta*delta[j]*x[i] + momentum*oldw[i][j].
+func bpAdjust(w, oldw, input, delta []float32, in, hidden int, eta, momentum float32) {
+	for j := 0; j < hidden; j++ {
+		dw := eta*delta[j] + momentum*oldw[j]
+		w[j] += dw
+		oldw[j] = dw
+	}
+	for i := 1; i <= in; i++ {
+		x := input[i-1]
+		for j := 0; j < hidden; j++ {
+			idx := i*hidden + j
+			dw := eta*delta[j]*x + momentum*oldw[idx]
+			w[idx] += dw
+			oldw[idx] = dw
+		}
+	}
+}
+
+type backpropBench struct{}
+
+func newBackprop() Workload { return backpropBench{} }
+
+func (backpropBench) Name() string   { return "backprop" }
+func (backpropBench) Domain() string { return "machine learning" }
+
+func (backpropBench) Run(ctx *cuda.Context, size Size) error {
+	// Two weight matrices (current + momentum) dominate: (in+1) x hidden.
+	in := size.Footprint() / (4 * 2 * backpropHidden)
+	wRows := in + 1
+	w, err := ctx.Alloc("backprop.w", 4*wRows*backpropHidden)
+	if err != nil {
+		return err
+	}
+	oldw, err := ctx.Alloc("backprop.oldw", 4*wRows*backpropHidden)
+	if err != nil {
+		return err
+	}
+	x, err := ctx.Alloc("backprop.input", 4*in)
+	if err != nil {
+		return err
+	}
+	for _, b := range []*cuda.Buffer{w, oldw, x} {
+		if err := ctx.Upload(b); err != nil {
+			return err
+		}
+	}
+	// Forward: one pass over W with a reduction into 16 activations.
+	fwd := kernels.MatVec("backprop_forward", int64(backpropHidden), in)
+	fwd.LoadBytes = 4 * wRows * backpropHidden
+	fwd.Access = gpu.Strided
+	blocks, threads := kernels.Grid(in)
+	fwd.Blocks, fwd.ThreadsPerBlock = blocks, threads
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   fwd,
+		Reads:  []*cuda.Buffer{w, x},
+		Writes: []*cuda.Buffer{w}, // partial sums staged in W's tail block
+	}); err != nil {
+		return err
+	}
+	// Backward: read+write both weight matrices.
+	bwd := gpu.KernelSpec{
+		Name:            "backprop_adjust",
+		Blocks:          blocks,
+		ThreadsPerBlock: threads,
+		LoadBytes:       4 * wRows * backpropHidden * 2,
+		StoreBytes:      4 * wRows * backpropHidden * 2,
+		Flops:           float64(wRows*backpropHidden) * 4,
+		IntOps:          float64(wRows*backpropHidden) * 2,
+		CtrlOps:         float64(wRows),
+		TileBytes:       16 << 10,
+		Access:          gpu.Strided,
+		WorkingSetKB:    16,
+	}
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   bwd,
+		Reads:  []*cuda.Buffer{w, oldw, x},
+		Writes: []*cuda.Buffer{w, oldw},
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(w); err != nil {
+		return err
+	}
+	for _, b := range []*cuda.Buffer{w, oldw, x} {
+		if err := ctx.Free(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (backpropBench) Validate() error {
+	const in, hidden = 64, 8
+	rng := rand.New(rand.NewSource(11))
+	w := make([]float32, (in+1)*hidden)
+	oldw := make([]float32, (in+1)*hidden)
+	input := make([]float32, in)
+	for i := range w {
+		w[i] = (rng.Float32() - 0.5) / float32(in)
+	}
+	for i := range input {
+		input[i] = rng.Float32()
+	}
+	h := bpForward(w, input, in, hidden)
+	for j, v := range h {
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf("backprop: activation %d = %v outside sigmoid range", j, v)
+		}
+	}
+	// Independent check of one activation in float64.
+	var sum float64
+	j := 3
+	sum = float64(w[j])
+	for i := 1; i <= in; i++ {
+		sum += float64(w[i*hidden+j]) * float64(input[i-1])
+	}
+	want := 1 / (1 + math.Exp(-sum))
+	if math.Abs(float64(h[j])-want) > 1e-5 {
+		return fmt.Errorf("backprop: h[%d] = %v, want %v", j, h[j], want)
+	}
+
+	// Training against a fixed target must reduce the loss.
+	target := make([]float32, hidden)
+	for i := range target {
+		target[i] = rng.Float32()
+	}
+	loss := func() float64 {
+		h := bpForward(w, input, in, hidden)
+		var l float64
+		for i := range h {
+			d := float64(h[i] - target[i])
+			l += d * d
+		}
+		return l
+	}
+	l0 := loss()
+	for step := 0; step < 30; step++ {
+		h := bpForward(w, input, in, hidden)
+		delta := make([]float32, hidden)
+		for i := range delta {
+			delta[i] = (target[i] - h[i]) * h[i] * (1 - h[i]) // sigmoid grad
+		}
+		bpAdjust(w, oldw, input, delta, in, hidden, 0.3, 0.3)
+	}
+	if l1 := loss(); l1 >= l0 {
+		return fmt.Errorf("backprop: loss did not decrease (%v -> %v)", l0, l1)
+	}
+	return nil
+}

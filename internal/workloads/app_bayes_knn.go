@@ -1,0 +1,299 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/kernels"
+)
+
+// This file holds the two UVMBench applications: bayesian (Bayesian
+// network structure scoring over a binary dataset) and knn (k-nearest
+// neighbors). Both scatter reads across large tables, giving them the
+// random-access profile of Table 2.
+
+// --- bayesian ------------------------------------------------------------
+
+const bayesVars = 32
+
+// bayesLogScore computes the K2-style family score of `child` with the
+// given parent set over binary data (rows x vars, row-major, 0/1): the
+// log-probability of the data under a uniform Dirichlet prior.
+func bayesLogScore(data []uint8, rows, vars, child int, parents []int) float64 {
+	if len(parents) > 16 {
+		panic("bayesian: parent set too large")
+	}
+	counts := map[[2]int]int{} // (parent configuration, child value) -> count
+	totals := map[int]int{}    // parent configuration -> count
+	for r := 0; r < rows; r++ {
+		cfg := 0
+		for bi, p := range parents {
+			if data[r*vars+p] == 1 {
+				cfg |= 1 << bi
+			}
+		}
+		v := int(data[r*vars+child])
+		counts[[2]int{cfg, v}]++
+		totals[cfg]++
+	}
+	// log P(D|G) = sum_cfg [ log( 1! / (N_cfg+1)! ) + sum_v log(N_cfg_v!) ]
+	// using the K2 metric with binary child (r_i = 2).
+	lgamma := func(n int) float64 {
+		v, _ := math.Lgamma(float64(n))
+		return v
+	}
+	var score float64
+	for cfg, n := range totals {
+		score += lgamma(2) - lgamma(n+2)
+		for v := 0; v < 2; v++ {
+			score += lgamma(counts[[2]int{cfg, v}] + 1)
+		}
+	}
+	return score
+}
+
+type bayesianBench struct{}
+
+func newBayesian() Workload { return bayesianBench{} }
+
+func (bayesianBench) Name() string   { return "BN" }
+func (bayesianBench) Domain() string { return "machine learning" }
+
+func (bayesianBench) Run(ctx *cuda.Context, size Size) error {
+	rows := size.Footprint() / bayesVars // one byte per cell
+	data, err := ctx.Alloc("BN.data", rows*bayesVars)
+	if err != nil {
+		return err
+	}
+	scores, err := ctx.Alloc("BN.scores", 8*bayesVars*bayesVars)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Upload(data); err != nil {
+		return err
+	}
+	// One scoring kernel per candidate child variable; each scans the
+	// dataset gathering parent-configuration histograms (random access
+	// into shared histograms, scattered column reads).
+	cells := rows * bayesVars
+	blocks, threads := kernels.Grid(rows)
+	spec := gpu.KernelSpec{
+		Name:            "bayes_score",
+		Blocks:          blocks,
+		ThreadsPerBlock: threads,
+		LoadBytes:       cells / bayesVars * 4, // child + parent columns
+		LoadAccessBytes: cells / bayesVars * 4 * 3,
+		StoreBytes:      8 * bayesVars,
+		Flops:           float64(rows) * 8,
+		IntOps:          float64(rows) * 24, // bit packing + histogram updates
+		CtrlOps:         float64(rows) * 4,
+		TileBytes:       8 << 10,
+		Access:          gpu.Random,
+		WorkingSetKB:    128,
+		StagedFraction:  0.7,
+	}
+	for v := 0; v < bayesVars/4; v++ { // batched candidate groups
+		if err := ctx.Launch(cuda.Launch{
+			Spec:   spec,
+			Reads:  []*cuda.Buffer{data},
+			Writes: []*cuda.Buffer{scores},
+		}); err != nil {
+			return err
+		}
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(scores); err != nil {
+		return err
+	}
+	if err := ctx.Free(data); err != nil {
+		return err
+	}
+	return ctx.Free(scores)
+}
+
+func (bayesianBench) Validate() error {
+	rng := rand.New(rand.NewSource(14))
+	const rows, vars = 2000, 6
+	data := make([]uint8, rows*vars)
+	// Variable 1 strongly depends on variable 0; variable 2 is noise.
+	for r := 0; r < rows; r++ {
+		v0 := uint8(rng.Intn(2))
+		data[r*vars+0] = v0
+		if rng.Float64() < 0.92 {
+			data[r*vars+1] = v0
+		} else {
+			data[r*vars+1] = 1 - v0
+		}
+		for c := 2; c < vars; c++ {
+			data[r*vars+c] = uint8(rng.Intn(2))
+		}
+	}
+	withParent := bayesLogScore(data, rows, vars, 1, []int{0})
+	noParent := bayesLogScore(data, rows, vars, 1, nil)
+	wrongParent := bayesLogScore(data, rows, vars, 1, []int{2})
+	if withParent <= noParent {
+		return fmt.Errorf("bayesian: true parent scored %v, no-parent %v; dependency not detected",
+			withParent, noParent)
+	}
+	if withParent <= wrongParent {
+		return fmt.Errorf("bayesian: true parent (%v) must beat a noise parent (%v)",
+			withParent, wrongParent)
+	}
+	// Score must be a log-probability: negative and finite.
+	if withParent >= 0 || math.IsInf(withParent, 0) || math.IsNaN(withParent) {
+		return fmt.Errorf("bayesian: invalid log score %v", withParent)
+	}
+	return nil
+}
+
+// --- knn -----------------------------------------------------------------
+
+const (
+	knnDims = 8
+	knnK    = 10
+)
+
+// knnSearch returns the indices of the k nearest points (n x d,
+// row-major) to the query, by full distance computation and selection —
+// the same two-kernel structure as the benchmark.
+func knnSearch(points []float32, n, d int, query []float32, k int) []int {
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < d; j++ {
+			diff := float64(points[i*d+j] - query[j])
+			acc += diff * diff
+		}
+		dist[i] = acc
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection kernel equivalent: partial selection of the k smallest.
+	for sel := 0; sel < k; sel++ {
+		best := sel
+		for i := sel + 1; i < n; i++ {
+			if dist[idx[i]] < dist[idx[best]] {
+				best = i
+			}
+		}
+		idx[sel], idx[best] = idx[best], idx[sel]
+	}
+	return idx[:k]
+}
+
+type knnBench struct{}
+
+func newKNN() Workload { return knnBench{} }
+
+func (knnBench) Name() string   { return "knn" }
+func (knnBench) Domain() string { return "data mining" }
+
+func (knnBench) Run(ctx *cuda.Context, size Size) error {
+	n := size.Footprint() / (4 * (knnDims + 1)) // points + distance array
+	points, err := ctx.Alloc("knn.points", 4*n*knnDims)
+	if err != nil {
+		return err
+	}
+	dist, err := ctx.Alloc("knn.dist", 4*n)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Upload(points); err != nil {
+		return err
+	}
+	// Kernel 1: distance computation — a clean streaming pass.
+	distSpec := kernels.Stream("knn_distance", n, knnDims, 1, 3*knnDims, 4, gpu.Sequential)
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   distSpec,
+		Reads:  []*cuda.Buffer{points},
+		Writes: []*cuda.Buffer{dist},
+	}); err != nil {
+		return err
+	}
+	// Kernel 2: k-selection over the distance array — scattered
+	// reductions.
+	blocks, threads := kernels.Grid(n / 32)
+	sel := gpu.KernelSpec{
+		Name:            "knn_select",
+		Blocks:          blocks,
+		ThreadsPerBlock: threads,
+		LoadBytes:       4 * n,
+		LoadAccessBytes: 4 * n * 2,
+		StoreBytes:      4 * knnK * int64(blocks),
+		Flops:           float64(n),
+		IntOps:          float64(n) * 6,
+		CtrlOps:         float64(n) * 2,
+		TileBytes:       8 << 10,
+		Access:          gpu.Random,
+		WorkingSetKB:    64,
+		StagedFraction:  0.8,
+	}
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   sel,
+		Reads:  []*cuda.Buffer{dist},
+		Writes: []*cuda.Buffer{dist},
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(dist); err != nil {
+		return err
+	}
+	if err := ctx.Free(points); err != nil {
+		return err
+	}
+	return ctx.Free(dist)
+}
+
+func (knnBench) Validate() error {
+	rng := rand.New(rand.NewSource(15))
+	const n, d, k = 500, 3, 7
+	points := make([]float32, n*d)
+	for i := range points {
+		points[i] = rng.Float32() * 10
+	}
+	query := []float32{5, 5, 5}
+	got := knnSearch(points, n, d, query, k)
+	if len(got) != k {
+		return fmt.Errorf("knn: returned %d neighbors, want %d", len(got), k)
+	}
+	// Reference: full sort by distance.
+	type pd struct {
+		i int
+		d float64
+	}
+	all := make([]pd, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < d; j++ {
+			diff := float64(points[i*d+j] - query[j])
+			acc += diff * diff
+		}
+		all[i] = pd{i, acc}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	wantSet := map[int]bool{}
+	maxDist := all[k-1].d
+	for _, p := range all[:k] {
+		wantSet[p.i] = true
+	}
+	for _, idx := range got {
+		// Accept ties at the k-th distance.
+		var acc float64
+		for j := 0; j < d; j++ {
+			diff := float64(points[idx*d+j] - query[j])
+			acc += diff * diff
+		}
+		if !wantSet[idx] && acc > maxDist+1e-12 {
+			return fmt.Errorf("knn: neighbor %d (dist %v) not among the %d nearest (max %v)",
+				idx, acc, k, maxDist)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/kernels"
+)
+
+// kmeans is Lloyd's clustering (Rodinia): each iteration launches an
+// assignment kernel (every point finds its nearest centroid) and the
+// host recomputes centroids. The centroid gather plus the
+// assignment-driven reduction make it one of the paper's "irregular"
+// programs that benefit from Async Memcpy (§1, Takeaway 2).
+
+const (
+	kmeansDims  = 16
+	kmeansK     = 32
+	kmeansIters = 6
+)
+
+// kmeansAssign assigns each point (row-major n x d) to the nearest
+// centroid (k x d) and returns the labels.
+func kmeansAssign(points, centroids []float32, n, d, k int) []int {
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestDist := 0, float32(0)
+		p := points[i*d : (i+1)*d]
+		for c := 0; c < k; c++ {
+			var dist float32
+			cc := centroids[c*d : (c+1)*d]
+			for j := 0; j < d; j++ {
+				diff := p[j] - cc[j]
+				dist += diff * diff
+			}
+			if c == 0 || dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+// kmeansUpdate recomputes centroids from labels; empty clusters keep
+// their previous position.
+func kmeansUpdate(points []float32, labels []int, centroids []float32, n, d, k int) {
+	sums := make([]float64, k*d)
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		c := labels[i]
+		counts[c]++
+		for j := 0; j < d; j++ {
+			sums[c*d+j] += float64(points[i*d+j])
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			centroids[c*d+j] = float32(sums[c*d+j] / float64(counts[c]))
+		}
+	}
+}
+
+// kmeansSeed picks initial centroids with the k-means++ rule: each new
+// centroid is sampled proportionally to its squared distance from the
+// nearest existing one.
+func kmeansSeed(points []float32, n, d, k int, rng *rand.Rand) []float32 {
+	centroids := make([]float32, 0, k*d)
+	first := rng.Intn(n)
+	centroids = append(centroids, points[first*d:(first+1)*d]...)
+	dist := make([]float64, n)
+	for len(centroids) < k*d {
+		var total float64
+		c := len(centroids)/d - 1
+		for i := 0; i < n; i++ {
+			var dd float64
+			for j := 0; j < d; j++ {
+				diff := float64(points[i*d+j] - centroids[c*d+j])
+				dd += diff * diff
+			}
+			if c == 0 || dd < dist[i] {
+				dist[i] = dd
+			}
+			total += dist[i]
+		}
+		r := rng.Float64() * total
+		pick := n - 1
+		for i := 0; i < n; i++ {
+			r -= dist[i]
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick*d:(pick+1)*d]...)
+	}
+	return centroids
+}
+
+// kmeansInertia is the clustering objective (sum of squared distances to
+// the assigned centroid).
+func kmeansInertia(points, centroids []float32, labels []int, n, d int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		c := labels[i]
+		for j := 0; j < d; j++ {
+			diff := float64(points[i*d+j] - centroids[c*d+j])
+			total += diff * diff
+		}
+	}
+	return total
+}
+
+type kmeansBench struct{}
+
+func newKmeans() Workload { return kmeansBench{} }
+
+func (kmeansBench) Name() string   { return "kmeans" }
+func (kmeansBench) Domain() string { return "data mining" }
+
+func (kmeansBench) Run(ctx *cuda.Context, size Size) error {
+	// points (n x d float32) + labels (n int32) fill the footprint.
+	n := size.Footprint() / (4 * (kmeansDims + 1))
+	points, err := ctx.Alloc("kmeans.points", 4*n*kmeansDims)
+	if err != nil {
+		return err
+	}
+	labels, err := ctx.Alloc("kmeans.labels", 4*n)
+	if err != nil {
+		return err
+	}
+	cents, err := ctx.Alloc("kmeans.centroids", 4*kmeansK*kmeansDims)
+	if err != nil {
+		return err
+	}
+	for _, b := range []*cuda.Buffer{points, cents} {
+		if err := ctx.Upload(b); err != nil {
+			return err
+		}
+	}
+	blocks, threads := kernels.Grid(n)
+	spec := gpu.KernelSpec{
+		Name:            "kmeans_assign",
+		Blocks:          blocks,
+		ThreadsPerBlock: threads,
+		LoadBytes:       4 * n * kmeansDims,
+		LoadAccessBytes: 4 * n * kmeansDims * 2, // centroid tile re-reads
+		StoreBytes:      4 * n,
+		Flops:           3 * float64(n) * kmeansDims * kmeansK,
+		IntOps:          float64(n) * kmeansK * 4,
+		CtrlOps:         float64(n) * kmeansK,
+		TileBytes:       16 << 10,
+		Access:          gpu.Irregular,
+		WorkingSetKB:    float64(4*kmeansK*kmeansDims) / 1024,
+		StagedFraction:  0.92,
+	}
+	// GPU-side centroid update (the CUDA suite's reduction kernel): the
+	// host only reads the per-iteration membership-delta counter.
+	update := gpu.KernelSpec{
+		Name:            "kmeans_update",
+		Blocks:          blocks,
+		ThreadsPerBlock: threads,
+		LoadBytes:       4*n*kmeansDims + 4*n,
+		StoreBytes:      4 * kmeansK * kmeansDims,
+		Flops:           float64(n) * kmeansDims,
+		IntOps:          float64(n) * 6,
+		CtrlOps:         float64(n),
+		TileBytes:       16 << 10,
+		Access:          gpu.Irregular,
+		WorkingSetKB:    float64(4*kmeansK*kmeansDims) / 1024,
+		StagedFraction:  0.92,
+	}
+	for it := 0; it < kmeansIters; it++ {
+		if err := ctx.Launch(cuda.Launch{
+			Spec:   spec,
+			Reads:  []*cuda.Buffer{points, cents},
+			Writes: []*cuda.Buffer{labels},
+			// Points are scanned linearly; only the centroid gather is
+			// irregular, and that working set is tiny.
+			SequentialDemand: true,
+		}); err != nil {
+			return err
+		}
+		if err := ctx.Launch(cuda.Launch{
+			Spec:             update,
+			Reads:            []*cuda.Buffer{points, labels},
+			Writes:           []*cuda.Buffer{cents},
+			SequentialDemand: true,
+		}); err != nil {
+			return err
+		}
+		ctx.HostCompute(50e3) // host checks the convergence delta
+	}
+	ctx.Synchronize()
+	// Final results: labels and centroids come back to the host.
+	if err := ctx.Consume(labels); err != nil {
+		return err
+	}
+	if err := ctx.Consume(cents); err != nil {
+		return err
+	}
+	for _, b := range []*cuda.Buffer{points, labels, cents} {
+		if err := ctx.Free(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (kmeansBench) Validate() error {
+	const n, d, k = 600, 4, 3
+	rng := rand.New(rand.NewSource(8))
+	// Three well-separated Gaussian blobs.
+	trueCenters := [][]float32{{0, 0, 0, 0}, {10, 10, 10, 10}, {-10, 10, -10, 10}}
+	points := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		c := trueCenters[i%3]
+		for j := 0; j < d; j++ {
+			points[i*d+j] = c[j] + float32(rng.NormFloat64())*0.5
+		}
+	}
+	centroids := kmeansSeed(points, n, d, k, rng)
+	var labels []int
+	prev := -1.0
+	for it := 0; it < 20; it++ {
+		labels = kmeansAssign(points, centroids, n, d, k)
+		kmeansUpdate(points, labels, centroids, n, d, k)
+		inertia := kmeansInertia(points, centroids, labels, n, d)
+		if prev >= 0 && inertia > prev+1e-6 {
+			return fmt.Errorf("kmeans: objective increased %v -> %v (Lloyd must be monotone)", prev, inertia)
+		}
+		prev = inertia
+	}
+	// Each blob must map to a single cluster.
+	for blob := 0; blob < 3; blob++ {
+		want := labels[blob]
+		for i := blob; i < n; i += 3 {
+			if labels[i] != want {
+				return fmt.Errorf("kmeans: blob %d split across clusters", blob)
+			}
+		}
+	}
+	// Assignment must match a brute-force nearest-centroid check.
+	for i := 0; i < n; i++ {
+		best, bestDist := -1, 0.0
+		for c := 0; c < k; c++ {
+			var dist float64
+			for j := 0; j < d; j++ {
+				diff := float64(points[i*d+j] - centroids[c*d+j])
+				dist += diff * diff
+			}
+			if best < 0 || dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		if labels[i] != best {
+			return fmt.Errorf("kmeans: point %d assigned to %d, nearest is %d", i, labels[i], best)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Package darknet reimplements the parts of Redmon's darknet framework
+// the paper benchmarks: a layer-graph network description, shape
+// propagation, a real (functional) forward pass for validation, and the
+// four network architectures of Table 2 — resnet18, resnet50,
+// yolov3-tiny and yolov3.
+//
+// Tensors are NCHW float32. The forward pass is a straightforward
+// reference implementation: the simulation layer never executes it at
+// benchmark scale (it lowers layers to kernel descriptions instead), so
+// clarity beats speed here.
+package darknet
+
+import "fmt"
+
+// Kind enumerates the layer types darknet's cfg files use that the four
+// benchmark networks need.
+type Kind int
+
+const (
+	Conv Kind = iota
+	MaxPool
+	AvgPool // global average pool
+	Shortcut
+	Route
+	Upsample
+	Connected
+	Yolo
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case MaxPool:
+		return "maxpool"
+	case AvgPool:
+		return "avgpool"
+	case Shortcut:
+		return "shortcut"
+	case Route:
+		return "route"
+	case Upsample:
+		return "upsample"
+	case Connected:
+		return "connected"
+	case Yolo:
+		return "yolo"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Shape is a CHW activation shape.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the element count of the shape.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+// Layer is one node of the network graph.
+type Layer struct {
+	Kind    Kind
+	Filters int // Conv: output channels; Connected: outputs
+	KSize   int // Conv/MaxPool kernel size
+	Stride  int
+	Leaky   bool // leaky-ReLU activation (yolo nets); otherwise ReLU/linear
+	From    int  // Shortcut: index of the residual source layer
+	Routes  []int
+	// resolved shapes
+	In, Out Shape
+}
+
+// Weights returns the layer's parameter count (batchnorm folded).
+func (l Layer) Weights() int {
+	switch l.Kind {
+	case Conv:
+		return l.Filters*l.In.C*l.KSize*l.KSize + l.Filters
+	case Connected:
+		return l.Filters*l.In.Elems() + l.Filters
+	}
+	return 0
+}
+
+// FLOPs returns the layer's multiply-add work for one image (counting an
+// FMA as two floating-point operations).
+func (l Layer) FLOPs() float64 {
+	switch l.Kind {
+	case Conv:
+		return 2 * float64(l.Out.H*l.Out.W) * float64(l.Filters) * float64(l.In.C*l.KSize*l.KSize)
+	case Connected:
+		return 2 * float64(l.Filters) * float64(l.In.Elems())
+	case MaxPool:
+		return float64(l.Out.Elems() * l.KSize * l.KSize)
+	case Shortcut, Upsample, Route, AvgPool, Yolo:
+		return float64(l.Out.Elems())
+	}
+	return 0
+}
+
+// Network is an ordered layer graph.
+type Network struct {
+	Name   string
+	Input  Shape
+	Layers []Layer
+}
+
+// build resolves shapes through the graph. It panics on inconsistent
+// definitions — network builders are static data, so an error is a bug.
+func build(name string, input Shape, layers []Layer) *Network {
+	n := &Network{Name: name, Input: input}
+	cur := input
+	outs := make([]Shape, 0, len(layers))
+	for i, l := range layers {
+		l.In = cur
+		switch l.Kind {
+		case Conv:
+			if l.Stride == 0 {
+				l.Stride = 1
+			}
+			l.Out = Shape{C: l.Filters, H: cur.H / l.Stride, W: cur.W / l.Stride}
+		case MaxPool:
+			if l.Stride == 0 {
+				l.Stride = l.KSize
+			}
+			l.Out = Shape{C: cur.C, H: cur.H / l.Stride, W: cur.W / l.Stride}
+		case AvgPool:
+			l.Out = Shape{C: cur.C, H: 1, W: 1}
+		case Shortcut:
+			src := outs[l.From]
+			if src.Elems() != cur.Elems() {
+				panic(fmt.Sprintf("%s: shortcut %d: shape mismatch %v vs %v", name, i, src, cur))
+			}
+			l.Out = cur
+		case Route:
+			var c int
+			base := outs[l.Routes[0]]
+			for _, r := range l.Routes {
+				if outs[r].H != base.H || outs[r].W != base.W {
+					panic(fmt.Sprintf("%s: route %d: spatial mismatch", name, i))
+				}
+				c += outs[r].C
+			}
+			l.Out = Shape{C: c, H: base.H, W: base.W}
+			l.In = l.Out // routes only concatenate
+		case Upsample:
+			if l.Stride == 0 {
+				l.Stride = 2
+			}
+			l.Out = Shape{C: cur.C, H: cur.H * l.Stride, W: cur.W * l.Stride}
+		case Connected:
+			l.Out = Shape{C: l.Filters, H: 1, W: 1}
+		case Yolo:
+			l.Out = cur
+		}
+		outs = append(outs, l.Out)
+		cur = l.Out
+		n.Layers = append(n.Layers, l)
+	}
+	return n
+}
+
+// Rebuild re-resolves a network's layer list against a different input
+// shape (validation shrinks inputs to keep the functional forward pass
+// fast).
+func Rebuild(n *Network, input Shape) *Network {
+	return build(n.Name, input, n.Layers)
+}
+
+// TotalWeights returns the parameter count of the network.
+func (n *Network) TotalWeights() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.Weights()
+	}
+	return total
+}
+
+// TotalFLOPs returns the forward multiply-add work for one image.
+func (n *Network) TotalFLOPs() float64 {
+	var total float64
+	for _, l := range n.Layers {
+		total += l.FLOPs()
+	}
+	return total
+}
+
+// MaxActivation returns the largest activation element count any layer
+// produces (used to size ping-pong activation buffers).
+func (n *Network) MaxActivation() int {
+	m := n.Input.Elems()
+	for _, l := range n.Layers {
+		if e := l.Out.Elems(); e > m {
+			m = e
+		}
+	}
+	return m
+}

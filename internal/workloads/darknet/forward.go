@@ -1,0 +1,182 @@
+package darknet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a CHW activation with its shape.
+type Tensor struct {
+	Shape Shape
+	Data  []float32
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(s Shape) Tensor {
+	return Tensor{Shape: s, Data: make([]float32, s.Elems())}
+}
+
+// at reads with zero padding outside the spatial bounds.
+func (t Tensor) at(c, y, x int) float32 {
+	if y < 0 || x < 0 || y >= t.Shape.H || x >= t.Shape.W {
+		return 0
+	}
+	return t.Data[(c*t.Shape.H+y)*t.Shape.W+x]
+}
+
+// Params holds one layer's weights.
+type Params struct {
+	W []float32 // conv: [F][C][K][K]; connected: [F][inElems]
+	B []float32 // per-filter bias
+}
+
+// InitParams draws small random weights for every layer of n.
+func InitParams(n *Network, seed int64) []Params {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Params, len(n.Layers))
+	for i, l := range n.Layers {
+		w := l.Weights()
+		if w == 0 {
+			continue
+		}
+		nb := l.Filters
+		out[i] = Params{W: make([]float32, w-nb), B: make([]float32, nb)}
+		scale := float32(math.Sqrt(2 / float64(w/nb)))
+		for j := range out[i].W {
+			out[i].W[j] = (rng.Float32() - 0.5) * scale
+		}
+	}
+	return out
+}
+
+// activate applies the layer's activation.
+func activate(v float32, leaky bool) float32 {
+	if v >= 0 {
+		return v
+	}
+	if leaky {
+		return 0.1 * v
+	}
+	return 0
+}
+
+// convForward computes a padded strided convolution with bias and
+// activation.
+func convForward(l Layer, p Params, in Tensor) Tensor {
+	out := NewTensor(l.Out)
+	pad := l.KSize / 2
+	for f := 0; f < l.Filters; f++ {
+		for oy := 0; oy < l.Out.H; oy++ {
+			for ox := 0; ox < l.Out.W; ox++ {
+				var acc float32
+				for c := 0; c < l.In.C; c++ {
+					for ky := 0; ky < l.KSize; ky++ {
+						for kx := 0; kx < l.KSize; kx++ {
+							iy := oy*l.Stride - pad + ky
+							ix := ox*l.Stride - pad + kx
+							wIdx := ((f*l.In.C+c)*l.KSize+ky)*l.KSize + kx
+							acc += p.W[wIdx] * in.at(c, iy, ix)
+						}
+					}
+				}
+				acc += p.B[f]
+				out.Data[(f*l.Out.H+oy)*l.Out.W+ox] = activate(acc, l.Leaky)
+			}
+		}
+	}
+	return out
+}
+
+// maxPoolForward computes strided max pooling.
+func maxPoolForward(l Layer, in Tensor) Tensor {
+	out := NewTensor(l.Out)
+	for c := 0; c < l.Out.C; c++ {
+		for oy := 0; oy < l.Out.H; oy++ {
+			for ox := 0; ox < l.Out.W; ox++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < l.KSize; ky++ {
+					for kx := 0; kx < l.KSize; kx++ {
+						v := in.at(c, oy*l.Stride+ky, ox*l.Stride+kx)
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(c*l.Out.H+oy)*l.Out.W+ox] = best
+			}
+		}
+	}
+	return out
+}
+
+// Forward runs the network on input, returning every layer's output (so
+// shortcuts and routes can reference earlier activations).
+func (n *Network) Forward(input Tensor, params []Params) ([]Tensor, error) {
+	if input.Shape != n.Input {
+		return nil, fmt.Errorf("darknet: input shape %v, want %v", input.Shape, n.Input)
+	}
+	outs := make([]Tensor, len(n.Layers))
+	cur := input
+	for i, l := range n.Layers {
+		switch l.Kind {
+		case Conv:
+			cur = convForward(l, params[i], cur)
+		case MaxPool:
+			cur = maxPoolForward(l, cur)
+		case AvgPool:
+			out := NewTensor(l.Out)
+			hw := float32(cur.Shape.H * cur.Shape.W)
+			for c := 0; c < cur.Shape.C; c++ {
+				var sum float32
+				for j := 0; j < cur.Shape.H*cur.Shape.W; j++ {
+					sum += cur.Data[c*cur.Shape.H*cur.Shape.W+j]
+				}
+				out.Data[c] = sum / hw
+			}
+			cur = out
+		case Shortcut:
+			out := NewTensor(l.Out)
+			src := outs[l.From]
+			for j := range out.Data {
+				out.Data[j] = cur.Data[j] + src.Data[j]
+			}
+			cur = out
+		case Route:
+			out := NewTensor(l.Out)
+			off := 0
+			for _, r := range l.Routes {
+				copy(out.Data[off:], outs[r].Data)
+				off += len(outs[r].Data)
+			}
+			cur = out
+		case Upsample:
+			out := NewTensor(l.Out)
+			for c := 0; c < cur.Shape.C; c++ {
+				for y := 0; y < l.Out.H; y++ {
+					for x := 0; x < l.Out.W; x++ {
+						out.Data[(c*l.Out.H+y)*l.Out.W+x] = cur.at(c, y/l.Stride, x/l.Stride)
+					}
+				}
+			}
+			cur = out
+		case Connected:
+			out := NewTensor(l.Out)
+			inElems := l.In.Elems()
+			for f := 0; f < l.Filters; f++ {
+				var acc float32
+				for j := 0; j < inElems; j++ {
+					acc += params[i].W[f*inElems+j] * cur.Data[j]
+				}
+				out.Data[f] = acc + params[i].B[f]
+			}
+			cur = out
+		case Yolo:
+			cur = Tensor{Shape: l.Out, Data: append([]float32(nil), cur.Data...)}
+		default:
+			return nil, fmt.Errorf("darknet: layer %d: unsupported kind %v", i, l.Kind)
+		}
+		outs[i] = cur
+	}
+	return outs, nil
+}

@@ -1,0 +1,139 @@
+package darknet
+
+// conv is a convenience constructor for a conv layer.
+func conv(filters, ksize, stride int, leaky bool) Layer {
+	return Layer{Kind: Conv, Filters: filters, KSize: ksize, Stride: stride, Leaky: leaky}
+}
+
+// ResNet18 builds darknet's resnet18.cfg: a 7x7 stem and four stages of
+// basic residual blocks (2-2-2-2), then global average pooling and a
+// 1000-way classifier.
+func ResNet18() *Network {
+	var ls []Layer
+	ls = append(ls, conv(64, 7, 2, false))
+	ls = append(ls, Layer{Kind: MaxPool, KSize: 2, Stride: 2})
+	channels := []int{64, 128, 256, 512}
+	for stage, c := range channels {
+		for block := 0; block < 2; block++ {
+			downsample := stage > 0 && block == 0
+			if downsample {
+				// Projection to the new resolution/width (the parallel
+				// 1x1 branch of the residual block, linearized: the
+				// block's convs then run at stride 1).
+				ls = append(ls, conv(c, 1, 2, false))
+			}
+			pre := len(ls) - 1
+			ls = append(ls, conv(c, 3, 1, false))
+			ls = append(ls, conv(c, 3, 1, false))
+			if !downsample {
+				ls = append(ls, Layer{Kind: Shortcut, From: pre})
+			}
+		}
+	}
+	ls = append(ls, Layer{Kind: AvgPool})
+	ls = append(ls, Layer{Kind: Connected, Filters: 1000})
+	return build("resnet18", Shape{C: 3, H: 256, W: 256}, ls)
+}
+
+// ResNet50 builds darknet's resnet50.cfg: bottleneck residual blocks in
+// a 3-4-6-3 arrangement.
+func ResNet50() *Network {
+	var ls []Layer
+	ls = append(ls, conv(64, 7, 2, false))
+	ls = append(ls, Layer{Kind: MaxPool, KSize: 2, Stride: 2})
+	stages := []struct{ blocks, width int }{{3, 64}, {4, 128}, {6, 256}, {3, 512}}
+	for stage, st := range stages {
+		for block := 0; block < st.blocks; block++ {
+			downsample := stage > 0 && block == 0
+			if downsample {
+				// Linearized projection branch (stride lives here).
+				ls = append(ls, conv(st.width*4, 1, 2, false))
+			} else if block == 0 {
+				ls = append(ls, conv(st.width*4, 1, 1, false))
+			}
+			pre := len(ls) - 1
+			ls = append(ls, conv(st.width, 1, 1, false))
+			ls = append(ls, conv(st.width, 3, 1, false))
+			ls = append(ls, conv(st.width*4, 1, 1, false))
+			ls = append(ls, Layer{Kind: Shortcut, From: pre})
+		}
+	}
+	ls = append(ls, Layer{Kind: AvgPool})
+	ls = append(ls, Layer{Kind: Connected, Filters: 1000})
+	return build("resnet50", Shape{C: 3, H: 256, W: 256}, ls)
+}
+
+// YoloV3Tiny builds yolov3-tiny.cfg: a small conv/maxpool trunk with two
+// detection heads joined by a route+upsample.
+func YoloV3Tiny() *Network {
+	var ls []Layer
+	widths := []int{16, 32, 64, 128, 256}
+	for _, w := range widths {
+		ls = append(ls, conv(w, 3, 1, true))
+		ls = append(ls, Layer{Kind: MaxPool, KSize: 2, Stride: 2})
+	}
+	ls = append(ls, conv(512, 3, 1, true)) // 10
+	ls = append(ls, Layer{Kind: MaxPool, KSize: 2, Stride: 1})
+	ls = append(ls, conv(1024, 3, 1, true))
+	ls = append(ls, conv(256, 1, 1, true)) // 13: head split point
+	headSplit := len(ls) - 1
+	ls = append(ls, conv(512, 3, 1, true))
+	ls = append(ls, conv(255, 1, 1, false))
+	ls = append(ls, Layer{Kind: Yolo})
+	ls = append(ls, Layer{Kind: Route, Routes: []int{headSplit}})
+	ls = append(ls, conv(128, 1, 1, true))
+	ls = append(ls, Layer{Kind: Upsample, Stride: 2})
+	ls = append(ls, conv(256, 3, 1, true))
+	ls = append(ls, conv(255, 1, 1, false))
+	ls = append(ls, Layer{Kind: Yolo})
+	return build("yolov3-tiny", Shape{C: 3, H: 416, W: 416}, ls)
+}
+
+// YoloV3 builds yolov3.cfg: the Darknet-53 backbone (1-2-8-8-4 residual
+// stages) plus three detection heads with routes and upsampling.
+func YoloV3() *Network {
+	var ls []Layer
+	residual := func(width int) {
+		pre := len(ls) - 1
+		ls = append(ls, conv(width/2, 1, 1, true))
+		ls = append(ls, conv(width, 3, 1, true))
+		ls = append(ls, Layer{Kind: Shortcut, From: pre})
+	}
+	ls = append(ls, conv(32, 3, 1, true))
+	stageEnds := map[int]int{}
+	for i, st := range []struct{ width, blocks int }{
+		{64, 1}, {128, 2}, {256, 8}, {512, 8}, {1024, 4},
+	} {
+		ls = append(ls, conv(st.width, 3, 2, true))
+		for b := 0; b < st.blocks; b++ {
+			residual(st.width)
+		}
+		stageEnds[i] = len(ls) - 1
+	}
+	head := func(width, split int) int {
+		ls = append(ls, conv(width/2, 1, 1, true))
+		ls = append(ls, conv(width, 3, 1, true))
+		ls = append(ls, conv(width/2, 1, 1, true))
+		ls = append(ls, conv(width, 3, 1, true))
+		ls = append(ls, conv(width/2, 1, 1, true))
+		at := len(ls) - 1
+		ls = append(ls, conv(width, 3, 1, true))
+		ls = append(ls, conv(255, 1, 1, false))
+		ls = append(ls, Layer{Kind: Yolo})
+		_ = split
+		return at
+	}
+	// Scale 1 (13x13 at 416 input).
+	s1 := head(1024, stageEnds[4])
+	ls = append(ls, Layer{Kind: Route, Routes: []int{s1}})
+	ls = append(ls, conv(256, 1, 1, true))
+	ls = append(ls, Layer{Kind: Upsample, Stride: 2})
+	ls = append(ls, Layer{Kind: Route, Routes: []int{len(ls) - 1, stageEnds[3]}})
+	s2 := head(512, 0)
+	ls = append(ls, Layer{Kind: Route, Routes: []int{s2}})
+	ls = append(ls, conv(128, 1, 1, true))
+	ls = append(ls, Layer{Kind: Upsample, Stride: 2})
+	ls = append(ls, Layer{Kind: Route, Routes: []int{len(ls) - 1, stageEnds[2]}})
+	head(256, 0)
+	return build("yolov3", Shape{C: 3, H: 416, W: 416}, ls)
+}

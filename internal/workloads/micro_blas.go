@@ -1,0 +1,276 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/kernels"
+)
+
+// --- saxpy: y = a*x + y ------------------------------------------------
+
+// saxpyKernel is the functional kernel (block-strided like the GPU
+// version).
+func saxpyKernel(a float32, x, y []float32) {
+	const stride = 256
+	for base := 0; base < len(x); base += stride {
+		end := base + stride
+		if end > len(x) {
+			end = len(x)
+		}
+		for i := base; i < end; i++ {
+			y[i] = a*x[i] + y[i]
+		}
+	}
+}
+
+type saxpyBench struct{}
+
+func newSaxpy() Workload { return saxpyBench{} }
+
+func (saxpyBench) Name() string   { return "saxpy" }
+func (saxpyBench) Domain() string { return "linear algebra" }
+
+func (saxpyBench) Run(ctx *cuda.Context, size Size) error {
+	n := size.Elems1D(2)
+	x, err := ctx.Alloc("saxpy.x", 4*n)
+	if err != nil {
+		return err
+	}
+	y, err := ctx.Alloc("saxpy.y", 4*n)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Upload(x); err != nil {
+		return err
+	}
+	if err := ctx.Upload(y); err != nil {
+		return err
+	}
+	// Two input streams, one output stream, one FMA per element.
+	spec := kernels.Stream("saxpy", n, 2, 1, 2, 3, 0)
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   spec,
+		Reads:  []*cuda.Buffer{x, y},
+		Writes: []*cuda.Buffer{y},
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(y); err != nil {
+		return err
+	}
+	if err := ctx.Free(x); err != nil {
+		return err
+	}
+	return ctx.Free(y)
+}
+
+func (saxpyBench) Validate() error {
+	const n = 3000
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, n)
+	y := make([]float32, n)
+	want := make([]float32, n)
+	const a = float32(2.5)
+	for i := range x {
+		x[i] = rng.Float32()
+		y[i] = rng.Float32()
+		want[i] = a*x[i] + y[i]
+	}
+	saxpyKernel(a, x, y)
+	for i := range y {
+		if y[i] != want[i] {
+			return fmt.Errorf("saxpy: y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	return nil
+}
+
+// --- gemv: y = A*x ------------------------------------------------------
+
+// gemvKernel computes y = A*x with per-row dot products, A row-major
+// m x n.
+func gemvKernel(a []float32, x, y []float32, m, n int) {
+	for i := 0; i < m; i++ {
+		var sum float32
+		row := a[i*n : (i+1)*n]
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+}
+
+type gemvBench struct{}
+
+func newGemv() Workload { return gemvBench{} }
+
+func (gemvBench) Name() string   { return "gemv" }
+func (gemvBench) Domain() string { return "linear algebra" }
+
+func (gemvBench) Run(ctx *cuda.Context, size Size) error {
+	n := size.Dim2D(1) // the matrix dominates the footprint
+	a, err := ctx.Alloc("gemv.A", 4*n*n)
+	if err != nil {
+		return err
+	}
+	x, err := ctx.Alloc("gemv.x", 4*n)
+	if err != nil {
+		return err
+	}
+	y, err := ctx.Alloc("gemv.y", 4*n)
+	if err != nil {
+		return err
+	}
+	for _, b := range []*cuda.Buffer{a, x} {
+		if err := ctx.Upload(b); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   kernels.MatVec("gemv", n, n),
+		Reads:  []*cuda.Buffer{a, x},
+		Writes: []*cuda.Buffer{y},
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(y); err != nil {
+		return err
+	}
+	for _, b := range []*cuda.Buffer{a, x, y} {
+		if err := ctx.Free(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (gemvBench) Validate() error {
+	const m, n = 64, 48
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float32, m*n)
+	x := make([]float32, n)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+	}
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	y := make([]float32, m)
+	gemvKernel(a, x, y, m, n)
+	// Independent reference: accumulate column-wise in float64.
+	for i := 0; i < m; i++ {
+		var want float64
+		for j := 0; j < n; j++ {
+			want += float64(a[i*n+j]) * float64(x[j])
+		}
+		if math.Abs(float64(y[i])-want) > 1e-3 {
+			return fmt.Errorf("gemv: y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+	return nil
+}
+
+// --- gemm: C = A*B -------------------------------------------------------
+
+// gemmTiled is the functional kernel: cache-blocked matrix multiply, the
+// same blocking structure the GPU kernel uses with shared-memory tiles.
+func gemmTiled(a, b, c []float32, n, tile int) {
+	for ii := 0; ii < n; ii += tile {
+		for kk := 0; kk < n; kk += tile {
+			for jj := 0; jj < n; jj += tile {
+				iMax := min(ii+tile, n)
+				kMax := min(kk+tile, n)
+				jMax := min(jj+tile, n)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						aik := a[i*n+k]
+						ci := c[i*n : (i+1)*n]
+						bk := b[k*n : (k+1)*n]
+						for j := jj; j < jMax; j++ {
+							ci[j] += aik * bk[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type gemmBench struct{}
+
+func newGemm() Workload { return gemmBench{} }
+
+func (gemmBench) Name() string   { return "gemm" }
+func (gemmBench) Domain() string { return "linear algebra" }
+
+func (gemmBench) Run(ctx *cuda.Context, size Size) error {
+	n := size.Dim2D(3) // A, B, C share the footprint
+	bufs := make([]*cuda.Buffer, 3)
+	for i, name := range []string{"gemm.A", "gemm.B", "gemm.C"} {
+		b, err := ctx.Alloc(name, 4*n*n)
+		if err != nil {
+			return err
+		}
+		bufs[i] = b
+	}
+	for _, b := range bufs[:2] {
+		if err := ctx.Upload(b); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   kernels.MatMul("gemm", n, n, n, 128),
+		Reads:  []*cuda.Buffer{bufs[0], bufs[1]},
+		Writes: []*cuda.Buffer{bufs[2]},
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(bufs[2]); err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if err := ctx.Free(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (gemmBench) Validate() error {
+	const n = 48
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+		b[i] = rng.Float32()*2 - 1
+	}
+	c := make([]float32, n*n)
+	gemmTiled(a, b, c, n, 16)
+	// Naive ikj-independent reference in float64.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += float64(a[i*n+k]) * float64(b[k*n+j])
+			}
+			if math.Abs(float64(c[i*n+j])-want) > 1e-3 {
+				return fmt.Errorf("gemm: C[%d,%d] = %v, want %v", i, j, c[i*n+j], want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/gpu"
+	"uvmasim/internal/kernels"
+)
+
+// vectorIters is the number of fused multiply-add iterations each
+// element receives — the "element-wise arithmetic operations" of the
+// Svedin et al. benchmark the paper builds vector_seq/vector_rand on.
+const vectorIters = 20
+
+// vectorOp applies the benchmark's per-element arithmetic.
+func vectorOp(x float32) float32 {
+	for i := 0; i < vectorIters; i++ {
+		x = x*1.00097 + 0.013
+	}
+	return x
+}
+
+// vectorKernel processes elements in the given visit order (identity for
+// vector_seq, a permutation for vector_rand), mimicking how the CUDA
+// kernel's threads traverse the buffer.
+func vectorKernel(data []float32, order []int32) {
+	if order == nil {
+		for i := range data {
+			data[i] = vectorOp(data[i])
+		}
+		return
+	}
+	for _, idx := range order {
+		data[idx] = vectorOp(data[idx])
+	}
+}
+
+// vectorBench is Vector-to-Constant with sequential or random access.
+type vectorBench struct {
+	name   string
+	access gpu.Access
+}
+
+func newVectorSeq() Workload  { return &vectorBench{name: "vector_seq", access: gpu.Sequential} }
+func newVectorRand() Workload { return &vectorBench{name: "vector_rand", access: gpu.Random} }
+
+func (v *vectorBench) Name() string   { return v.name }
+func (v *vectorBench) Domain() string { return "linear algebra" }
+
+func (v *vectorBench) spec(n int64) gpu.KernelSpec {
+	s := kernels.Stream(v.name, n, 1, 1, 2*vectorIters, 6, v.access)
+	if v.access == gpu.Random {
+		// The permutation gather adds index loads and defeats
+		// coalescing; staging still covers the payload.
+		s.IntOps += 4 * float64(n)
+		s.LoadBytes += 4 * n // index vector
+		s.StagedFraction = 0.85
+	}
+	return s
+}
+
+func (v *vectorBench) Run(ctx *cuda.Context, size Size) error {
+	n := size.Elems1D(1)
+	buf, err := ctx.Alloc(v.name, 4*n)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Upload(buf); err != nil {
+		return err
+	}
+	if err := ctx.Launch(cuda.Launch{
+		Spec:   v.spec(n),
+		Reads:  []*cuda.Buffer{buf},
+		Writes: []*cuda.Buffer{buf},
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(buf); err != nil {
+		return err
+	}
+	return ctx.Free(buf)
+}
+
+// SensitivityOptions override the vector_seq launch hyperparameters for
+// the §5 sensitivity studies (Figures 11-13). Zero fields keep defaults.
+type SensitivityOptions struct {
+	Blocks           int
+	ThreadsPerBlock  int
+	SharedPerBlockKB float64
+}
+
+// RunVectorSeqSensitivity runs vector_seq with overridden launch
+// geometry and shared-memory partition — the paper's
+// run_micro_sensitivity / run_micro_shared experiments.
+func RunVectorSeqSensitivity(ctx *cuda.Context, size Size, opt SensitivityOptions) error {
+	v := vectorBench{name: "vector_seq", access: gpu.Sequential}
+	n := size.Elems1D(1)
+	buf, err := ctx.Alloc(v.name, 4*n)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Upload(buf); err != nil {
+		return err
+	}
+	spec := v.spec(n)
+	if opt.Blocks > 0 {
+		spec.Blocks = opt.Blocks
+	}
+	if opt.ThreadsPerBlock > 0 {
+		spec.ThreadsPerBlock = opt.ThreadsPerBlock
+	}
+	if err := ctx.Launch(cuda.Launch{
+		Spec:             spec,
+		Reads:            []*cuda.Buffer{buf},
+		Writes:           []*cuda.Buffer{buf},
+		SharedPerBlockKB: opt.SharedPerBlockKB,
+	}); err != nil {
+		return err
+	}
+	ctx.Synchronize()
+	if err := ctx.Consume(buf); err != nil {
+		return err
+	}
+	return ctx.Free(buf)
+}
+
+func (v *vectorBench) Validate() error {
+	const n = 4096
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, n)
+	want := make([]float32, n)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+		want[i] = vectorOp(data[i])
+	}
+	var order []int32
+	if v.access == gpu.Random {
+		for _, p := range rng.Perm(n) {
+			order = append(order, int32(p))
+		}
+	}
+	vectorKernel(data, order)
+	for i := range data {
+		if math.Abs(float64(data[i]-want[i])) > 1e-5 {
+			return fmt.Errorf("%s: element %d = %v, want %v", v.name, i, data[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"testing"
+
+	"uvmasim/internal/cuda"
+)
+
+// roi measures the region of interest (total minus fixed overhead) of
+// one run.
+func roi(t *testing.T, w Workload, setup cuda.Setup, size Size, seed int64) float64 {
+	t.Helper()
+	ctx := cuda.NewContext(cuda.DefaultSystemConfig(), setup, seed)
+	if err := w.Run(ctx, size); err != nil {
+		t.Fatal(err)
+	}
+	b := ctx.Breakdown()
+	return b.Total - b.Overhead
+}
+
+// TestTakeaway2Shapes encodes the paper's central guideline per workload
+// class: regular memory-bound workloads prefer UVM with prefetch over
+// async alone, while irregular workloads prefer async over UVM
+// prefetching (Takeaway 2).
+func TestTakeaway2Shapes(t *testing.T) {
+	regular := []string{"vector_seq", "saxpy", "backprop"}
+	irregular := []string{"lud", "kmeans", "BN"}
+
+	for _, name := range regular {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := roi(t, w, cuda.UVMPrefetch, Large, 4)
+		asy := roi(t, w, cuda.Async, Large, 4)
+		if pf >= asy {
+			t.Errorf("%s (regular): uvm_prefetch (%.1f ms) should beat async (%.1f ms)",
+				name, pf/1e6, asy/1e6)
+		}
+	}
+	for _, name := range irregular {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := roi(t, w, cuda.UVMPrefetch, Large, 4)
+		asy := roi(t, w, cuda.Async, Large, 4)
+		if asy >= pf {
+			t.Errorf("%s (irregular): async (%.1f ms) should beat uvm_prefetch (%.1f ms)",
+				name, asy/1e6, pf/1e6)
+		}
+	}
+}
+
+// TestCombinationNeverMuchWorseThanPrefetch: §4.1.2 — the combination
+// beats or ties uvm_prefetch everywhere except compute-bound gemm-style
+// workloads (yolov3), where the regression stays small.
+func TestCombinationVsPrefetch(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			pf := roi(t, w, cuda.UVMPrefetch, Medium, 6)
+			combo := roi(t, w, cuda.UVMPrefetchAsync, Medium, 6)
+			if combo > pf*1.15 {
+				t.Errorf("combination (%.2f ms) regresses >15%% vs uvm_prefetch (%.2f ms)",
+					combo/1e6, pf/1e6)
+			}
+		})
+	}
+}
+
+// TestDomainsDeclared keeps Table 2's metadata intact.
+func TestDomainsDeclared(t *testing.T) {
+	for _, w := range All() {
+		if w.Domain() == "" {
+			t.Errorf("%s: empty domain", w.Name())
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package workloads implements the paper's benchmark suite: the 7
+// microbenchmarks and 14 real-world applications of Table 2, each written
+// once against the cuda API so that all five data-transfer setups run the
+// same code. Every workload has two faces:
+//
+//   - a functional implementation (pure Go) validated against an
+//     independent reference at small scale, from which
+//   - an analytic kernel description (gpu.KernelSpec) is derived for the
+//     timing runs at the paper's input scales.
+package workloads
+
+import "fmt"
+
+// Size is one of the six input-size classes of Table 3.
+type Size int
+
+const (
+	Tiny Size = iota
+	Small
+	Medium
+	Large
+	Super
+	Mega
+)
+
+// AllSizes lists the classes in growing order.
+var AllSizes = []Size{Tiny, Small, Medium, Large, Super, Mega}
+
+// String returns the paper's class name.
+func (s Size) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	case Super:
+		return "super"
+	case Mega:
+		return "mega"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// ParseSize resolves a class by name.
+func ParseSize(name string) (Size, error) {
+	for _, s := range AllSizes {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("workloads: unknown size %q", name)
+}
+
+// Footprint returns the class's total memory footprint in bytes
+// (Table 3's "Mem" row: 1 MB to 32 GB).
+func (s Size) Footprint() int64 {
+	switch s {
+	case Tiny:
+		return 1 << 20
+	case Small:
+		return 8 << 20
+	case Medium:
+		return 64 << 20
+	case Large:
+		return 512 << 20
+	case Super:
+		return 4 << 30
+	default:
+		return 32 << 30
+	}
+}
+
+// Elems1D splits the class footprint across `buffers` float32 vectors and
+// returns the per-vector element count.
+func (s Size) Elems1D(buffers int) int64 {
+	if buffers < 1 {
+		buffers = 1
+	}
+	return s.Footprint() / int64(4*buffers)
+}
+
+// Dim2D returns the side of a square float32 grid such that `buffers`
+// such grids fill the class footprint.
+func (s Size) Dim2D(buffers int) int64 {
+	if buffers < 1 {
+		buffers = 1
+	}
+	per := s.Footprint() / int64(4*buffers)
+	n := int64(1)
+	for (n+1)*(n+1) <= per {
+		// Grow in powers of two then refine; grids this size are always
+		// representable.
+		if n*2*(n*2) <= per {
+			n *= 2
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// Dim3D returns the side of a cubic float32 grid such that `buffers`
+// such grids fill the class footprint.
+func (s Size) Dim3D(buffers int) int64 {
+	if buffers < 1 {
+		buffers = 1
+	}
+	per := s.Footprint() / int64(4*buffers)
+	n := int64(1)
+	for (n+1)*(n+1)*(n+1) <= per {
+		if 8*n*n*n <= per {
+			n *= 2
+		} else {
+			n++
+		}
+	}
+	return n
+}

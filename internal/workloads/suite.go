@@ -1,0 +1,29 @@
+package workloads
+
+// init registers the suite in the paper's presentation order (Table 2).
+func init() {
+	// Microbenchmarks.
+	register(newVectorSeq(), true)
+	register(newVectorRand(), true)
+	register(newSaxpy(), true)
+	register(newGemv(), true)
+	register(newGemm(), true)
+	register(newConv2D(), true)
+	register(newConv3D(), true)
+
+	// Real-world applications (Table 2 order).
+	register(newLavaMD(), false)
+	register(newNW(), false)
+	register(newKmeans(), false)
+	register(newSrad(), false)
+	register(newBackprop(), false)
+	register(newPathfinder(), false)
+	register(newHotspot(), false)
+	register(newLud(), false)
+	register(newBayesian(), false)
+	register(newKNN(), false)
+	register(newResNet18(), false)
+	register(newResNet50(), false)
+	register(newYoloV3Tiny(), false)
+	register(newYoloV3(), false)
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmasim/internal/cuda"
+)
+
+// Workload is one benchmark of Table 2.
+type Workload interface {
+	// Name is the paper's program name (e.g. "vector_seq", "lud").
+	Name() string
+	// Domain is the application domain listed in Table 2.
+	Domain() string
+	// Run executes the workload's full measured region — allocation,
+	// staging, kernels, result consumption, free — on ctx at the given
+	// input class.
+	Run(ctx *cuda.Context, size Size) error
+	// Validate executes the functional implementation at test scale and
+	// checks it against an independent reference.
+	Validate() error
+}
+
+var registry = map[string]Workload{}
+var microNames, appNames []string
+
+// register adds w to the suite. micro selects the microbenchmark group.
+func register(w Workload, micro bool) {
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", w.Name()))
+	}
+	registry[w.Name()] = w
+	if micro {
+		microNames = append(microNames, w.Name())
+	} else {
+		appNames = append(appNames, w.Name())
+	}
+}
+
+// ByName returns a registered workload.
+func ByName(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Micro returns the 7 microbenchmarks in registration (paper) order.
+func Micro() []Workload { return byNames(microNames) }
+
+// Apps returns the 14 real-world applications in registration order.
+func Apps() []Workload { return byNames(appNames) }
+
+// All returns every workload, micro first.
+func All() []Workload { return append(Micro(), Apps()...) }
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func byNames(names []string) []Workload {
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
