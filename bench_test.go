@@ -11,14 +11,18 @@ import (
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/sim"
 	"uvmasim/internal/workloads"
 )
 
 // benchRunner keeps repetitions small: benchmarks measure the harness,
-// the statistics do not need 30 repetitions per b.N iteration.
+// the statistics do not need 30 repetitions per b.N iteration. The cell
+// cache is disabled so every b.N iteration re-simulates instead of
+// replaying memoized cells.
 func benchRunner() *core.Runner {
 	r := core.NewRunner()
 	r.Iterations = 3
+	r.Cache = false
 	return r
 }
 
@@ -175,7 +179,15 @@ func BenchmarkFig12ThreadSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		slowdown = sw.Points[5].BySetup[0].Kernel / sw.Points[3].BySetup[0].Kernel
+		p32, err := sw.Point(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p128, err := sw.Point(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = p32.BySetup[0].Kernel / p128.BySetup[0].Kernel
 	}
 	b.ReportMetric(slowdown, "x-kernel-32t-vs-128t")
 }
@@ -203,6 +215,44 @@ func BenchmarkFig14MultiJob(b *testing.B) {
 		imp = res.Improvement * 100
 	}
 	b.ReportMetric(imp, "%pipeline-improvement")
+}
+
+// BenchmarkContextCycle measures one full simulated process — context
+// creation through a vector_seq run — with allocation accounting, so the
+// hot-path allocation cuts in internal/cuda and internal/sim stay
+// visible in `go test -bench`.
+func BenchmarkContextCycle(b *testing.B) {
+	w, err := workloads.ByName("vector_seq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cuda.DefaultSystemConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := cuda.NewContext(cfg, cuda.UVMPrefetchAsync, int64(i))
+		if err := w.Run(ctx, workloads.Large); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvents measures event scheduling and dispatch on a
+// reused engine, with allocation accounting: after warm-up the event
+// heap's backing array is recycled by Reset, so steady state should not
+// allocate.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			eng.After(float64(j%7), fn)
+		}
+		eng.Run()
+		eng.Reset()
+	}
 }
 
 // BenchmarkWorkloads measures one simulated run per workload at Super

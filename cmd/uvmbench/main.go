@@ -19,7 +19,8 @@
 //	uvmbench all               everything above
 //
 // Flags: -i iterations (default 30), -seed, -size (overrides the default
-// class where applicable).
+// class where applicable), -par executor workers (0 = all cores, 1 =
+// serial; the rendered output is byte-identical at any setting).
 package main
 
 import (
@@ -46,6 +47,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	sizeName := fs.String("size", "", "override input-size class (tiny..mega)")
 	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model")
+	par := fs.Int("par", 0, "experiment executor workers (0 = all cores, 1 = serial); output is identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,10 +55,14 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing subcommand (try: uvmbench all)")
 	}
+	if *par < 0 {
+		return fmt.Errorf("-par must be >= 0, got %d", *par)
+	}
 
 	r := core.NewRunner()
 	r.Iterations = *iters
 	r.BaseSeed = *seed
+	r.Parallelism = *par
 
 	sizeOr := func(def workloads.Size) (workloads.Size, error) {
 		if *sizeName == "" {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"testing"
+)
 
 // TestDispatchSubcommands smoke-tests every subcommand end to end with a
 // single iteration (output goes to stdout; correctness of the numbers is
@@ -36,5 +40,43 @@ func TestRunErrors(t *testing.T) {
 func TestCommaSeparatedCommands(t *testing.T) {
 	if err := run([]string{"-i", "1", "table3,list"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// capture runs the CLI with stdout redirected and returns what it
+// printed.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	runErr := run(args)
+	wp.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(rp)
+	rp.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// TestParFlag covers the executor flag end to end: -par 1 (legacy serial
+// path) and a wide pool must print byte-identical artifacts, and negative
+// values are rejected.
+func TestParFlag(t *testing.T) {
+	serial := capture(t, "-i", "2", "-par", "1", "fig6,fig9,fig12")
+	parallel := capture(t, "-i", "2", "-par", "8", "fig6,fig9,fig12")
+	if serial != parallel {
+		t.Errorf("-par 8 output diverges from -par 1\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if err := run([]string{"-par", "-1", "table3"}); err == nil {
+		t.Error("negative -par should error")
 	}
 }

@@ -239,21 +239,25 @@ func TestSweepThreads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kernelAt := func(pi, si int) float64 { return sw.Points[pi].BySetup[si].Kernel }
-	k32, k128 := kernelAt(5, 0), kernelAt(3, 0)
+	kernelAt := func(threads float64, si int) float64 {
+		p, err := sw.Point(threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.BySetup[si].Kernel
+	}
+	k32, k128 := kernelAt(32, 0), kernelAt(128, 0)
 	if k32 < 2*k128 {
 		t.Errorf("standard kernel at 32 threads (%v) should be >=2x 128 threads (%v) — paper: 3.95x",
 			k32, k128)
 	}
 	// Async advantage over standard grows as threads shrink.
-	advAt := func(pi int) float64 {
-		std := sw.Points[pi].BySetup[0].Kernel
-		asy := sw.Points[pi].BySetup[1].Kernel
-		return std / asy
+	advAt := func(threads float64) float64 {
+		return kernelAt(threads, 0) / kernelAt(threads, 1)
 	}
-	if advAt(5) <= advAt(0) {
+	if advAt(32) <= advAt(1024) {
 		t.Errorf("async kernel advantage at 32 threads (%.2fx) should exceed 1024 threads (%.2fx)",
-			advAt(5), advAt(0))
+			advAt(32), advAt(1024))
 	}
 }
 
@@ -264,17 +268,23 @@ func TestSweepShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kernel := func(pi, si int) float64 { return sw.Points[pi].BySetup[si].Kernel }
+	kernel := func(sharedKB float64, si int) float64 {
+		p, err := sw.Point(sharedKB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.BySetup[si].Kernel
+	}
 	const asyncIdx, comboIdx = 1, 4
 	// Tiny shared partition starves the async pipeline.
-	if kernel(0, asyncIdx) <= kernel(4, asyncIdx) {
+	if kernel(2, asyncIdx) <= kernel(32, asyncIdx) {
 		t.Errorf("async kernel at 2KB shared (%v) should exceed 32KB (%v)",
-			kernel(0, asyncIdx), kernel(4, asyncIdx))
+			kernel(2, asyncIdx), kernel(32, asyncIdx))
 	}
 	// Huge shared partition (tiny L1) hurts the UVM+prefetch+async combo.
-	if kernel(6, comboIdx) <= kernel(4, comboIdx) {
+	if kernel(128, comboIdx) <= kernel(32, comboIdx) {
 		t.Errorf("combo kernel at 128KB shared (%v) should exceed 32KB (%v)",
-			kernel(6, comboIdx), kernel(4, comboIdx))
+			kernel(128, comboIdx), kernel(32, comboIdx))
 	}
 }
 

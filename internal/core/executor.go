@@ -1,0 +1,218 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/workloads"
+)
+
+// This file implements the parallel experiment executor and the
+// cross-figure cell cache.
+//
+// Parallelism model: every measurement cell — one (workload, setup,
+// size, iteration) simulated run — is independent of every other cell.
+// Seeds are derived per cell (see seedFor), workloads draw their input
+// data from fixed-seed local generators, and each cuda.Context owns all
+// of its mutable simulation state. The executor therefore fans cells out
+// across a worker pool and writes each cell's result into a
+// pre-allocated slot indexed by the cell's serial position, so every
+// study assembles (and renders) its results in exactly the order the
+// legacy serial loops produced. Rendered output is byte-identical at any
+// Parallelism.
+//
+// Concurrency is bounded by a token pool shared across nested fan-outs:
+// a fan-out worker holds one token for its lifetime, and inner fan-outs
+// (a study fans out cells; each cell fans out iterations) spawn extra
+// workers only while spare tokens exist, otherwise running inline on the
+// calling goroutine. The caller always participates, so the scheme
+// cannot deadlock and the total number of busy goroutines stays at
+// Parallelism.
+
+// executor is the shared worker-token pool of one Runner (and of every
+// Runner copy derived from it).
+type executor struct {
+	once   sync.Once
+	tokens chan struct{}
+}
+
+// acquire takes a worker token if one is free. The pool is sized to
+// par-1 tokens on first use (the calling goroutine is the par-th
+// worker); later Parallelism changes on the same Runner do not resize
+// it.
+func (e *executor) acquire(par int) bool {
+	e.once.Do(func() {
+		n := par - 1
+		if n < 0 {
+			n = 0
+		}
+		e.tokens = make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			e.tokens <- struct{}{}
+		}
+	})
+	select {
+	case <-e.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *executor) release() { e.tokens <- struct{}{} }
+
+// parallelism resolves the effective worker count: Parallelism if set,
+// otherwise GOMAXPROCS.
+func (r *Runner) parallelism() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1), fanning the calls across the worker pool.
+// Each fn(i) must write its result only to slot i of a caller-owned
+// destination, which keeps the merge deterministic regardless of
+// completion order. With an effective parallelism of 1 (or on a
+// zero-value Runner) it degrades to the legacy serial loop. The returned
+// error is the lowest-index failure, matching what the serial loop
+// would have reported.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	par := r.parallelism()
+	if par > n {
+		par = n
+	}
+	if par <= 1 || r.exec == nil {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	work := func() {
+		for {
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < par && r.exec.acquire(r.parallelism()); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer r.exec.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellKey identifies one unique measurement cell across figures. Two
+// cells with equal keys produce bit-identical Results (the simulation is
+// a pure function of the key), which is what makes the cache safe for
+// byte-identical rendering.
+type cellKey struct {
+	kind  string // workload name, or a sweep cell id including the swept parameter
+	setup cuda.Setup
+	size  workloads.Size
+	iters int
+	seed  int64
+	cfg   cuda.SystemConfig
+}
+
+// cellEntry is a singleflight slot: the first goroutine to claim the key
+// computes, every later one (even concurrent ones) waits and shares the
+// stored result.
+type cellEntry struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+// cellCache memoizes measurement cells across studies and figures. It is
+// shared (by pointer) between a Runner and its copies, so e.g. the
+// single-iteration runner CounterComparison derives still populates the
+// same cache.
+type cellCache struct {
+	mu     sync.Mutex
+	m      map[cellKey]*cellEntry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newCellCache() *cellCache {
+	return &cellCache{m: make(map[cellKey]*cellEntry)}
+}
+
+// do returns the cached result for key, computing it at most once.
+func (c *cellCache) do(key cellKey, compute func() (Result, error)) (Result, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cellEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.res, e.err = compute() })
+	return e.res, e.err
+}
+
+// cached routes a cell computation through the cell cache (when enabled).
+// Cached Results are shared between callers and must be treated as
+// read-only, which every consumer in this package does.
+func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, compute func() (Result, error)) (Result, error) {
+	if !r.Cache || r.cache == nil {
+		return compute()
+	}
+	key := cellKey{
+		kind:  kind,
+		setup: setup,
+		size:  size,
+		iters: r.iters(),
+		seed:  r.BaseSeed,
+		cfg:   r.Config,
+	}
+	return r.cache.do(key, compute)
+}
+
+// CacheHits reports how many cell computations were satisfied from the
+// cell cache (e.g. the shared fig9/fig10 counter study, or the repeated
+// micro suite of fig7 at Super and the §4.1.1 summary).
+func (r *Runner) CacheHits() uint64 {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.hits.Load()
+}
+
+// CacheMisses reports how many cell computations ran the simulator.
+func (r *Runner) CacheMisses() uint64 {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.misses.Load()
+}

@@ -26,28 +26,38 @@ type DistributionStudy struct {
 	Cells     []DistCell
 }
 
-// Distributions measures every (workload, setup, size) combination.
+// Distributions measures every (workload, setup, size) combination. The
+// cells fan out across the executor; the study keeps them in the fixed
+// workload-major, size, setup order.
 func (r *Runner) Distributions(ws []workloads.Workload, sizes []workloads.Size) (*DistributionStudy, error) {
 	study := &DistributionStudy{Sizes: sizes}
 	for _, w := range ws {
 		study.Workloads = append(study.Workloads, w.Name())
-		for _, size := range sizes {
-			for _, setup := range cuda.AllSetups {
-				res, err := r.Measure(w, setup, size)
-				if err != nil {
-					return nil, err
-				}
-				totals := res.Totals()
-				study.Cells = append(study.Cells, DistCell{
-					Workload: w.Name(),
-					Setup:    setup,
-					Size:     size,
-					Summary:  stats.Summarize(totals),
-					CV:       stats.CoefVar(totals),
-				})
-			}
-		}
 	}
+	nSetups := len(cuda.AllSetups)
+	cells := make([]DistCell, len(ws)*len(sizes)*nSetups)
+	err := r.forEach(len(cells), func(i int) error {
+		w := ws[i/(len(sizes)*nSetups)]
+		size := sizes[(i/nSetups)%len(sizes)]
+		setup := cuda.AllSetups[i%nSetups]
+		res, err := r.Measure(w, setup, size)
+		if err != nil {
+			return err
+		}
+		totals := res.Totals()
+		cells[i] = DistCell{
+			Workload: w.Name(),
+			Setup:    setup,
+			Size:     size,
+			Summary:  stats.Summarize(totals),
+			CV:       stats.CoefVar(totals),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	study.Cells = cells
 	return study, nil
 }
 
@@ -138,19 +148,28 @@ type BreakdownStudy struct {
 }
 
 // BreakdownComparison measures the mean five-setup breakdown of each
-// workload at the given size.
+// workload at the given size, fanning every (workload, setup) cell
+// across the executor.
 func (r *Runner) BreakdownComparison(ws []workloads.Workload, size workloads.Size) (*BreakdownStudy, error) {
-	study := &BreakdownStudy{Size: size}
-	for _, w := range ws {
-		results, err := r.MeasureAllSetups(w, size)
+	nSetups := len(cuda.AllSetups)
+	grid := make([]cuda.Breakdown, len(ws)*nSetups)
+	err := r.forEach(len(grid), func(i int) error {
+		res, err := r.Measure(ws[i/nSetups], cuda.AllSetups[i%nSetups], size)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := BreakdownRow{Workload: w.Name()}
-		for _, res := range results {
-			row.BySetup = append(row.BySetup, res.MeanBreakdown())
+		grid[i] = res.MeanBreakdown()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	study := &BreakdownStudy{Size: size, Rows: make([]BreakdownRow, len(ws))}
+	for wi, w := range ws {
+		study.Rows[wi] = BreakdownRow{
+			Workload: w.Name(),
+			BySetup:  grid[wi*nSetups : (wi+1)*nSetups],
 		}
-		study.Rows = append(study.Rows, row)
 	}
 	return study, nil
 }
@@ -221,32 +240,43 @@ type CounterStudy struct {
 // Counter collection needs a single run per cell (values are
 // deterministic per seed), matching the paper's separate profiling pass.
 func (r *Runner) CounterComparison(names []string, size workloads.Size) (*CounterStudy, error) {
-	single := *r
-	single.Iterations = 1
-	study := &CounterStudy{Size: size}
-	for _, name := range names {
+	ws := make([]workloads.Workload, len(names))
+	for i, name := range names {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, setup := range cuda.AllSetups {
-			res, err := single.Measure(w, setup, size)
-			if err != nil {
-				return nil, err
-			}
-			study.Rows = append(study.Rows, CounterRow{
-				Workload:      name,
-				Setup:         setup,
-				CtrlInst:      res.Counters.Inst.Ctrl,
-				IntInst:       res.Counters.Inst.Int,
-				MemInst:       res.Counters.Inst.Mem,
-				FPInst:        res.Counters.Inst.FP,
-				LoadMissRate:  res.Counters.L1.LoadMissRate(),
-				StoreMissRate: res.Counters.L1.StoreMissRate(),
-			})
-		}
+		ws[i] = w
 	}
-	return study, nil
+	// The copy shares the executor and cell cache with r, so a repeated
+	// counter study (fig9 then fig10) is fully deduplicated.
+	single := *r
+	single.Iterations = 1
+	nSetups := len(cuda.AllSetups)
+	rows := make([]CounterRow, len(ws)*nSetups)
+	err := single.forEach(len(rows), func(i int) error {
+		name := names[i/nSetups]
+		setup := cuda.AllSetups[i%nSetups]
+		res, err := single.Measure(ws[i/nSetups], setup, size)
+		if err != nil {
+			return err
+		}
+		rows[i] = CounterRow{
+			Workload:      name,
+			Setup:         setup,
+			CtrlInst:      res.Counters.Inst.Ctrl,
+			IntInst:       res.Counters.Inst.Int,
+			MemInst:       res.Counters.Inst.Mem,
+			FPInst:        res.Counters.Inst.FP,
+			LoadMissRate:  res.Counters.L1.LoadMissRate(),
+			StoreMissRate: res.Counters.L1.StoreMissRate(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CounterStudy{Size: size, Rows: rows}, nil
 }
 
 // Row returns the counters for (workload, setup).
@@ -277,32 +307,52 @@ type Sweep struct {
 }
 
 // sweep runs vector_seq sensitivity measurements over params, using opt
-// to translate a parameter value into launch options.
+// to translate a parameter value into launch options. Every
+// (param, setup) cell fans out across the executor and is memoized in
+// the cell cache under a key that includes the swept parameter.
 func (r *Runner) sweep(name, paramName string, size workloads.Size, params []float64,
 	opt func(p float64) workloads.SensitivityOptions) (*Sweep, error) {
-	sw := &Sweep{Name: name, ParamName: paramName, Size: size}
-	iters := r.Iterations
-	if iters < 1 {
-		iters = 1
-	}
-	for _, p := range params {
-		point := SweepPoint{Param: p}
-		for _, setup := range cuda.AllSetups {
-			var acc Result
-			acc.Setup = setup
-			for i := 0; i < iters; i++ {
-				seed := r.seedFor(name, setup, size, i) + int64(p*17)
-				ctx := cuda.NewContext(r.Config, setup, seed)
-				if err := workloads.RunVectorSeqSensitivity(ctx, size, opt(p)); err != nil {
-					return nil, err
-				}
-				acc.Breakdowns = append(acc.Breakdowns, ctx.Breakdown())
-			}
-			point.BySetup = append(point.BySetup, acc.MeanBreakdown())
+	nSetups := len(cuda.AllSetups)
+	grid := make([]cuda.Breakdown, len(params)*nSetups)
+	err := r.forEach(len(grid), func(i int) error {
+		p := params[i/nSetups]
+		setup := cuda.AllSetups[i%nSetups]
+		kind := fmt.Sprintf("sweep:%s:%g", name, p)
+		res, err := r.cached(kind, setup, size, func() (Result, error) {
+			return r.sweepCell(name, setup, size, p, opt(p))
+		})
+		if err != nil {
+			return err
 		}
-		sw.Points = append(sw.Points, point)
+		grid[i] = res.MeanBreakdown()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Name: name, ParamName: paramName, Size: size, Points: make([]SweepPoint, len(params))}
+	for pi, p := range params {
+		sw.Points[pi] = SweepPoint{Param: p, BySetup: grid[pi*nSetups : (pi+1)*nSetups]}
 	}
 	return sw, nil
+}
+
+// sweepCell measures the repeated iterations of one sensitivity cell,
+// each from its own derived seed, in iteration order.
+func (r *Runner) sweepCell(name string, setup cuda.Setup, size workloads.Size,
+	p float64, opts workloads.SensitivityOptions) (Result, error) {
+	iters := r.iters()
+	res := Result{Setup: setup, Size: size, Breakdowns: make([]cuda.Breakdown, iters)}
+	err := r.forEach(iters, func(i int) error {
+		seed := r.seedFor(name, setup, size, i) + int64(p*17)
+		ctx := cuda.NewContext(r.Config, setup, seed)
+		if err := workloads.RunVectorSeqSensitivity(ctx, size, opts); err != nil {
+			return err
+		}
+		res.Breakdowns[i] = ctx.Breakdown()
+		return nil
+	})
+	return res, err
 }
 
 // SweepBlocks is Figure 11: vary the number of blocks with 256 threads.
@@ -336,13 +386,31 @@ func (r *Runner) SweepShared(size workloads.Size, kbs []float64) (*Sweep, error)
 	})
 }
 
+// Point returns the sweep point measured at the given parameter value
+// (e.g. sw.Point(128) for the 128-thread launch), so callers never index
+// Points by hard-coded position.
+func (s *Sweep) Point(value float64) (SweepPoint, error) {
+	for _, p := range s.Points {
+		if p.Param == value {
+			return p, nil
+		}
+	}
+	return SweepPoint{}, fmt.Errorf("core: sweep %s has no point at %s=%v", s.Name, s.ParamName, value)
+}
+
 // Normalized returns a point's total for a setup normalized to the
 // standard setup at the sweep's first point, overhead excluded.
 func (s *Sweep) Normalized(pointIdx, setup int) float64 {
+	return s.NormalizedPoint(s.Points[pointIdx], setup)
+}
+
+// NormalizedPoint is Normalized for a point obtained via Point (or by
+// ranging over Points) rather than a positional index.
+func (s *Sweep) NormalizedPoint(p SweepPoint, setup int) float64 {
 	base := s.Points[0].BySetup[0].Total - s.Points[0].BySetup[0].Overhead
 	if base <= 0 {
 		return 0
 	}
-	b := s.Points[pointIdx].BySetup[setup]
+	b := p.BySetup[setup]
 	return (b.Total - b.Overhead) / base
 }

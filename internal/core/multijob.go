@@ -100,12 +100,20 @@ type PipelineStats struct {
 // PipelineShares measures the given workloads under one setup at a size
 // and averages the component shares of the region of interest.
 func (r *Runner) PipelineShares(ws []workloads.Workload, setup cuda.Setup, size workloads.Size) (PipelineStats, error) {
-	var tr, al, ke, occ []float64
-	for _, w := range ws {
-		res, err := r.Measure(w, setup, size)
+	results := make([]Result, len(ws))
+	err := r.forEach(len(ws), func(i int) error {
+		res, err := r.Measure(ws[i], setup, size)
 		if err != nil {
-			return PipelineStats{}, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return PipelineStats{}, err
+	}
+	var tr, al, ke, occ []float64
+	for _, res := range results {
 		mb := res.MeanBreakdown()
 		roi := mb.Alloc + mb.Memcpy + mb.Kernel
 		if roi <= 0 {

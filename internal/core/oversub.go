@@ -40,14 +40,15 @@ func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int
 	if passes < 1 {
 		passes = 1
 	}
-	study := &OversubStudy{Setup: setup}
+	study := &OversubStudy{Setup: setup, Points: make([]OversubPoint, len(ratios))}
 	capacity := int64(float64(r.Config.GPU.HBMCapacity) * r.Config.ManagedCapacityFraction)
-	for _, ratio := range ratios {
+	err := r.forEach(len(ratios), func(i int) error {
+		ratio := ratios[i]
 		footprint := int64(ratio * float64(capacity))
 		ctx := cuda.NewContext(r.Config, setup, r.BaseSeed)
 		buf, err := ctx.Alloc("oversub", footprint)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n := footprint / 4
 		spec := kernels.Stream("oversub_pass", n, 1, 1, 8, 4, gpu.Sequential)
@@ -57,23 +58,27 @@ func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int
 				Reads:  []*cuda.Buffer{buf},
 				Writes: []*cuda.Buffer{buf},
 			}); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		ctx.Synchronize()
 		if err := ctx.Free(buf); err != nil {
-			return nil, err
+			return err
 		}
 		b := ctx.Breakdown()
 		roi := b.Total - b.Overhead
-		study.Points = append(study.Points, OversubPoint{
+		study.Points[i] = OversubPoint{
 			Ratio:        ratio,
 			Footprint:    footprint,
 			Total:        b.Total,
 			BytesPerNs:   float64(footprint*int64(passes)) / roi,
 			EvictedBytes: ctx.Counters().UVM.EvictedBytes,
 			PageFaults:   ctx.Counters().UVM.PageFaults,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return study, nil
 }

@@ -145,10 +145,10 @@ func (s *Sweep) Render(title string) string {
 		fmt.Fprintf(&b, " %19s", setup)
 	}
 	fmt.Fprintln(&b)
-	for pi, p := range s.Points {
+	for _, p := range s.Points {
 		fmt.Fprintf(&b, "%-10v", p.Param)
 		for si := range cuda.AllSetups {
-			fmt.Fprintf(&b, " %19.3f", s.Normalized(pi, si))
+			fmt.Fprintf(&b, " %19.3f", s.NormalizedPoint(p, si))
 		}
 		fmt.Fprintln(&b)
 	}

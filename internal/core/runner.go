@@ -4,6 +4,15 @@
 // execution-time breakdowns and hardware counters, and produces the data
 // behind every table and figure of the evaluation (Table 3, Figures
 // 4-13) plus the §6 inter-job pipeline model (Figure 14).
+//
+// Studies execute on a parallel cell executor (see executor.go) and
+// memoize unique cells in a cross-figure cache. Both rely on one
+// invariant that must be preserved when adding experiments: every
+// stochastic draw of a cell is derived from that cell's own seed
+// (seedFor), never from shared mutable state such as a study-wide RNG or
+// a previous cell's context. Per-cell seeds are what make cells
+// embarrassingly parallel, the merge order-independent, and a cell's
+// Result a pure function of its cache key.
 package core
 
 import (
@@ -23,19 +32,46 @@ type Runner struct {
 	Config     cuda.SystemConfig
 	Iterations int
 	BaseSeed   int64
+
+	// Parallelism is the worker count of the cell executor. Zero or
+	// negative means GOMAXPROCS; 1 forces the legacy serial path. The
+	// worker-token pool is sized on first use, so set it before running
+	// studies.
+	Parallelism int
+	// Cache enables the cross-figure cell cache: identical
+	// (workload, setup, size, iterations, seed, config) cells are
+	// computed once and shared. Disable it to force every study to
+	// re-simulate (benchmarks measuring harness cost do).
+	Cache bool
+
+	exec  *executor
+	cache *cellCache
 }
 
-// NewRunner returns a Runner with the paper's defaults.
+// NewRunner returns a Runner with the paper's defaults: parallel
+// execution across all cores and the cell cache enabled.
 func NewRunner() *Runner {
 	return &Runner{
 		Config:     cuda.DefaultSystemConfig(),
 		Iterations: DefaultIterations,
 		BaseSeed:   1,
+		Cache:      true,
+		exec:       &executor{},
+		cache:      newCellCache(),
 	}
 }
 
+// iters returns the effective iteration count.
+func (r *Runner) iters() int {
+	if r.Iterations < 1 {
+		return 1
+	}
+	return r.Iterations
+}
+
 // Result holds the repeated measurements of one (workload, setup, size)
-// cell.
+// cell. Results returned by Runner methods may be shared with the cell
+// cache and must be treated as read-only.
 type Result struct {
 	Workload string
 	Setup    cuda.Setup
@@ -82,7 +118,10 @@ func (r Result) MeanBreakdown() cuda.Breakdown {
 // Summary summarizes the wall totals.
 func (r Result) Summary() stats.Summary { return stats.Summarize(r.Totals()) }
 
-// seedFor derives a deterministic seed per cell and iteration.
+// seedFor derives a deterministic seed per cell and iteration. Every
+// stochastic draw of a cell must trace back to this seed (see the
+// package comment): drawing from shared mutable state instead would
+// couple cells and break both parallel determinism and the cell cache.
 func (r *Runner) seedFor(name string, setup cuda.Setup, size workloads.Size, iter int) int64 {
 	h := int64(1469598103934665603)
 	for _, c := range name {
@@ -96,37 +135,57 @@ func (r *Runner) seedFor(name string, setup cuda.Setup, size workloads.Size, ite
 }
 
 // Measure runs workload w under setup at size for the configured number
-// of iterations.
+// of iterations, fanning iterations across the executor and memoizing
+// the cell in the cross-figure cache.
 func (r *Runner) Measure(w workloads.Workload, setup cuda.Setup, size workloads.Size) (Result, error) {
-	res := Result{Workload: w.Name(), Setup: setup, Size: size}
-	iters := r.Iterations
-	if iters < 1 {
-		iters = 1
+	return r.cached(w.Name(), setup, size, func() (Result, error) {
+		return r.measureCell(w, setup, size)
+	})
+}
+
+// measureCell simulates every iteration of one cell. Iterations are
+// independent (per-iteration seeds), so they fan out across the executor
+// and land in iteration order in the Breakdowns slice.
+func (r *Runner) measureCell(w workloads.Workload, setup cuda.Setup, size workloads.Size) (Result, error) {
+	iters := r.iters()
+	res := Result{
+		Workload:   w.Name(),
+		Setup:      setup,
+		Size:       size,
+		Breakdowns: make([]cuda.Breakdown, iters),
 	}
-	for i := 0; i < iters; i++ {
+	err := r.forEach(iters, func(i int) error {
 		ctx := cuda.NewContext(r.Config, setup, r.seedFor(w.Name(), setup, size, i))
 		if err := w.Run(ctx, size); err != nil {
-			return res, fmt.Errorf("core: %s/%s/%s iteration %d: %w",
+			return fmt.Errorf("core: %s/%s/%s iteration %d: %w",
 				w.Name(), setup, size, i, err)
 		}
-		res.Breakdowns = append(res.Breakdowns, ctx.Breakdown())
+		res.Breakdowns[i] = ctx.Breakdown()
 		if i == iters-1 {
 			res.Counters = *ctx.Counters()
 		}
+		return nil
+	})
+	if err != nil {
+		return Result{Workload: w.Name(), Setup: setup, Size: size}, err
 	}
 	return res, nil
 }
 
 // MeasureAllSetups measures one workload at one size under all five
-// setups, in the paper's order.
+// setups, returned in the paper's order.
 func (r *Runner) MeasureAllSetups(w workloads.Workload, size workloads.Size) ([]Result, error) {
-	out := make([]Result, 0, len(cuda.AllSetups))
-	for _, s := range cuda.AllSetups {
-		res, err := r.Measure(w, s, size)
+	out := make([]Result, len(cuda.AllSetups))
+	err := r.forEach(len(out), func(i int) error {
+		res, err := r.Measure(w, cuda.AllSetups[i], size)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -39,13 +39,15 @@ type Launch struct {
 //     the kernel races ahead of the stream and faults anyway — the reason
 //     lud gains nothing from prefetching (§4.1.2).
 func (c *Context) Launch(l Launch) error {
-	for _, b := range append(append([]*Buffer{}, l.Reads...), l.Writes...) {
-		if b == nil || b.freed {
-			return fmt.Errorf("cuda: launch %q uses an invalid buffer", l.Spec.Name)
-		}
-		if b.managed != c.setup.Managed() {
-			return fmt.Errorf("cuda: launch %q: buffer %q allocation kind does not match setup %v",
-				l.Spec.Name, b.Name, c.setup)
+	for _, bufs := range [2][]*Buffer{l.Reads, l.Writes} {
+		for _, b := range bufs {
+			if b == nil || b.freed {
+				return fmt.Errorf("cuda: launch %q uses an invalid buffer", l.Spec.Name)
+			}
+			if b.managed != c.setup.Managed() {
+				return fmt.Errorf("cuda: launch %q: buffer %q allocation kind does not match setup %v",
+					l.Spec.Name, b.Name, c.setup)
+			}
 		}
 	}
 	if err := l.Spec.Validate(); err != nil {
@@ -107,19 +109,13 @@ func (c *Context) Launch(l Launch) error {
 // interleaving demand migration with compute progress, and returns the
 // kernel end time.
 func (c *Context) paceManaged(l Launch, res gpu.LaunchResult, start float64) float64 {
-	type demand struct {
-		buf *Buffer
-		idx int
-	}
-	var seq []demand
 	var totalBytes int64
+	chunks := 0
 	for _, b := range l.Reads {
-		for i := 0; i < b.region.NumChunks(); i++ {
-			seq = append(seq, demand{b, i})
-		}
+		chunks += b.region.NumChunks()
 		totalBytes += b.Size
 	}
-	if len(seq) == 0 || totalBytes == 0 {
+	if chunks == 0 || totalBytes == 0 {
 		return start + res.ExecTime*c.jitter(0.005)
 	}
 
@@ -130,35 +126,62 @@ func (c *Context) paceManaged(l Launch, res gpu.LaunchResult, start float64) flo
 	if !sequential {
 		switch l.Spec.Access {
 		case gpu.Irregular, gpu.Random:
-			c.rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
 		default:
 			sequential = true
 		}
 	}
 
+	chunkBytes := c.cfg.UVM.ChunkBytes
+	if sequential {
+		// Hot path: walk chunks in address order directly; no demand list
+		// is materialized and no per-chunk state escapes to the heap.
+		computePerByte := res.ExecTime / float64(totalBytes) * c.jitter(0.005)
+		cursor := start
+		for _, b := range l.Reads {
+			for i := 0; i < b.region.NumChunks(); i++ {
+				size := chunkBytes
+				if rem := b.Size - int64(i)*chunkBytes; rem < size {
+					size = rem
+				}
+				avail := c.mgr.DemandChunk(b.region, i, cursor, 1, true)
+				cursor = avail + float64(size)*computePerByte
+			}
+		}
+		return cursor
+	}
+
+	type demand struct {
+		buf *Buffer
+		idx int
+	}
+	seq := make([]demand, 0, chunks)
+	for _, b := range l.Reads {
+		for i := 0; i < b.region.NumChunks(); i++ {
+			seq = append(seq, demand{b, i})
+		}
+	}
+	c.rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+
 	// Demand migration efficiency depends on how well the driver's
 	// density prefetcher coalesces the kernel's fault stream.
-	patternEff := 1.0
-	if !sequential {
-		switch l.Spec.Access {
-		case gpu.Strided:
-			patternEff = 0.88
-		case gpu.Irregular:
-			patternEff = 0.55
-		default: // Random
-			patternEff = 0.38
-		}
+	var patternEff float64
+	switch l.Spec.Access {
+	case gpu.Strided:
+		patternEff = 0.88
+	case gpu.Irregular:
+		patternEff = 0.55
+	default: // Random
+		patternEff = 0.38
 	}
 
 	computePerByte := res.ExecTime / float64(totalBytes) * c.jitter(0.005)
 	cursor := start
-	chunkBytes := c.cfg.UVM.ChunkBytes
 	for _, d := range seq {
 		size := chunkBytes
 		if rem := d.buf.Size - int64(d.idx)*chunkBytes; rem < size {
 			size = rem
 		}
-		avail := c.mgr.DemandChunk(d.buf.region, d.idx, cursor, patternEff, sequential)
+		avail := c.mgr.DemandChunk(d.buf.region, d.idx, cursor, patternEff, false)
 		cursor = avail + float64(size)*computePerByte
 	}
 	return cursor

@@ -9,10 +9,7 @@
 // order they were scheduled.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a scheduled callback.
 type event struct {
@@ -21,24 +18,61 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by (time, insertion sequence).
+// eventHeap is a binary min-heap of events ordered by (time, insertion
+// sequence). The sift operations are implemented directly on the slice
+// rather than through container/heap, whose interface{}-based Push/Pop
+// would box every event into a fresh allocation on the scheduling hot
+// path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends e and restores the heap order, reusing the backing array.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, keeping the backing array.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the callback for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -73,7 +107,7 @@ func (e *Engine) At(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative delays panic.
@@ -87,11 +121,24 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.executed++
 	ev.fn()
 	return true
+}
+
+// Reset returns the engine to time zero for a fresh run, dropping any
+// pending events while keeping the event heap's backing array so
+// back-to-back simulations do not regrow it.
+func (e *Engine) Reset() {
+	for i := range e.pq {
+		e.pq[i] = event{}
+	}
+	e.pq = e.pq[:0]
+	e.now = 0
+	e.seq = 0
+	e.executed = 0
 }
 
 // Run executes events until the queue drains and returns the final clock.

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/gpu"
@@ -18,7 +19,8 @@ import (
 type darknetBench struct {
 	name  string
 	build func() *darknet.Network
-	net   *darknet.Network // built lazily, cached
+	once  sync.Once
+	net   *darknet.Network // built lazily, cached; read-only once built
 }
 
 func newResNet18() Workload   { return &darknetBench{name: "resnet18", build: darknet.ResNet18} }
@@ -29,10 +31,11 @@ func newYoloV3() Workload     { return &darknetBench{name: "yolov3", build: dark
 func (d *darknetBench) Name() string   { return d.name }
 func (d *darknetBench) Domain() string { return "machine learning" }
 
+// network builds the graph once. Workload values are registry singletons
+// shared by concurrent harness workers, so the build is synchronized;
+// the Network itself is never mutated after construction.
 func (d *darknetBench) network() *darknet.Network {
-	if d.net == nil {
-		d.net = d.build()
-	}
+	d.once.Do(func() { d.net = d.build() })
 	return d.net
 }
 
