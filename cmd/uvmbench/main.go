@@ -15,22 +15,33 @@
 //	uvmbench fig13             L1/shared partition sensitivity sweep
 //	uvmbench fig14             inter-job pipeline model (§6)
 //	uvmbench micro|apps        §4.1 geomean summaries
+//	uvmbench trace             record a Perfetto-loadable run timeline
 //	uvmbench list              workload inventory
 //	uvmbench all               everything above
 //
-// Flags: -i iterations (default 30), -seed, -size (overrides the default
-// class where applicable), -par executor workers (0 = all cores, 1 =
-// serial; the rendered output is byte-identical at any setting).
+// Flags (before the subcommand): -i iterations (default 30), -seed,
+// -size (overrides the default class where applicable), -par executor
+// workers (0 = all cores, 1 = serial; output is byte-identical at any
+// setting), -json (emit figure data as a JSON document instead of the
+// text table), -workload and -setup (select the traced run; an empty
+// -setup traces all five), -out (directory for trace files).
+//
+// The trace subcommand writes one Chrome trace-event file per setup,
+// named trace_<workload>_<setup>.json, loadable in Perfetto or
+// chrome://tracing. Files are byte-identical across runs with the same
+// seed and any -par value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
 )
 
@@ -41,6 +52,32 @@ func main() {
 	}
 }
 
+// options carries the per-invocation settings dispatch needs beyond the
+// Runner itself.
+type options struct {
+	sizeOr    func(def workloads.Size) (workloads.Size, error)
+	jobs      int
+	json      bool
+	workload  string
+	setupName string
+	outDir    string
+}
+
+// emit prints either the text rendering or the JSON document, depending
+// on the -json flag.
+func (o *options) emit(text string, doc core.FigureDoc) error {
+	if !o.json {
+		fmt.Print(text)
+		return nil
+	}
+	s, err := core.RenderJSON(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("uvmbench", flag.ContinueOnError)
 	iters := fs.Int("i", core.DefaultIterations, "iterations per configuration")
@@ -48,6 +85,10 @@ func run(args []string) error {
 	sizeName := fs.String("size", "", "override input-size class (tiny..mega)")
 	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model")
 	par := fs.Int("par", 0, "experiment executor workers (0 = all cores, 1 = serial); output is identical at any value")
+	jsonOut := fs.Bool("json", false, "emit figure data as a JSON document instead of a text table")
+	workload := fs.String("workload", "gemm", "workload for the trace subcommand")
+	setupName := fs.String("setup", "", "setup for the trace subcommand (empty = all five)")
+	outDir := fs.String("out", ".", "directory for trace output files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +105,14 @@ func run(args []string) error {
 	r.BaseSeed = *seed
 	r.Parallelism = *par
 
-	sizeOr := func(def workloads.Size) (workloads.Size, error) {
+	o := &options{
+		jobs:      *jobs,
+		json:      *jsonOut,
+		workload:  *workload,
+		setupName: *setupName,
+		outDir:    *outDir,
+	}
+	o.sizeOr = func(def workloads.Size) (workloads.Size, error) {
 		if *sizeName == "" {
 			return def, nil
 		}
@@ -73,14 +121,14 @@ func run(args []string) error {
 
 	cmds := strings.Split(fs.Arg(0), ",")
 	for _, cmd := range cmds {
-		if err := dispatch(r, cmd, sizeOr, *jobs); err != nil {
+		if err := dispatch(r, cmd, o); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads.Size, error), jobs int) error {
+func dispatch(r *core.Runner, cmd string, o *options) error {
 	switch cmd {
 	case "list":
 		fmt.Println("microbenchmarks:")
@@ -94,8 +142,7 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		return nil
 
 	case "table3":
-		fmt.Print(core.RenderTable3())
-		return nil
+		return o.emit(core.RenderTable3(), core.Table3Doc())
 
 	case "fig4", "fig5":
 		sizes := workloads.AllSizes
@@ -104,33 +151,33 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 			return err
 		}
 		if cmd == "fig4" {
-			fmt.Print(study.RenderFig4())
-		} else {
-			fmt.Print(study.RenderFig5())
+			return o.emit(study.RenderFig4(), study.Fig4Doc())
 		}
-		return nil
+		return o.emit(study.RenderFig5(), study.Fig5Doc())
 
 	case "fig6":
 		f, err := r.Fig6()
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
-		return nil
+		return o.emit(f.Render(), f.Doc())
 
 	case "fig7":
+		var text strings.Builder
+		var studies []*core.BreakdownStudy
 		for _, size := range []workloads.Size{workloads.Large, workloads.Super} {
 			study, err := r.BreakdownComparison(workloads.Micro(), size)
 			if err != nil {
 				return err
 			}
-			fmt.Print(study.Render("Figure 7"))
-			fmt.Println()
+			studies = append(studies, study)
+			text.WriteString(study.Render("Figure 7"))
+			text.WriteString("\n")
 		}
-		return nil
+		return o.emit(text.String(), core.Fig7Doc(studies))
 
 	case "fig8":
-		size, err := sizeOr(workloads.Super)
+		size, err := o.sizeOr(workloads.Super)
 		if err != nil {
 			return err
 		}
@@ -138,11 +185,10 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(study.Render("Figure 8"))
-		return nil
+		return o.emit(study.Render("Figure 8"), study.Doc("fig8"))
 
 	case "fig9", "fig10":
-		size, err := sizeOr(workloads.Super)
+		size, err := o.sizeOr(workloads.Super)
 		if err != nil {
 			return err
 		}
@@ -151,14 +197,12 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 			return err
 		}
 		if cmd == "fig9" {
-			fmt.Print(study.RenderFig9())
-		} else {
-			fmt.Print(study.RenderFig10())
+			return o.emit(study.RenderFig9(), study.Doc("fig9"))
 		}
-		return nil
+		return o.emit(study.RenderFig10(), study.Doc("fig10"))
 
 	case "fig11":
-		size, err := sizeOr(workloads.Large)
+		size, err := o.sizeOr(workloads.Large)
 		if err != nil {
 			return err
 		}
@@ -166,11 +210,10 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(sw.Render("Figure 11"))
-		return nil
+		return o.emit(sw.Render("Figure 11"), sw.Doc("fig11"))
 
 	case "fig12":
-		size, err := sizeOr(workloads.Large)
+		size, err := o.sizeOr(workloads.Large)
 		if err != nil {
 			return err
 		}
@@ -178,11 +221,10 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(sw.Render("Figure 12"))
-		return nil
+		return o.emit(sw.Render("Figure 12"), sw.Doc("fig12"))
 
 	case "fig13":
-		size, err := sizeOr(workloads.Large)
+		size, err := o.sizeOr(workloads.Large)
 		if err != nil {
 			return err
 		}
@@ -190,23 +232,21 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(sw.Render("Figure 13"))
-		return nil
+		return o.emit(sw.Render("Figure 13"), sw.Doc("fig13"))
 
 	case "fig14":
-		size, err := sizeOr(workloads.Super)
+		size, err := o.sizeOr(workloads.Super)
 		if err != nil {
 			return err
 		}
-		res, err := r.MultiJob("vector_seq", cuda.UVMPrefetchAsync, size, jobs)
+		res, err := r.MultiJob("vector_seq", cuda.UVMPrefetchAsync, size, o.jobs)
 		if err != nil {
 			return err
 		}
-		fmt.Print(res.Render())
-		return nil
+		return o.emit(res.Render(), res.Doc())
 
 	case "micro":
-		size, err := sizeOr(workloads.Super)
+		size, err := o.sizeOr(workloads.Super)
 		if err != nil {
 			return err
 		}
@@ -214,11 +254,10 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(study.Render("Microbenchmarks (§4.1.1)"))
-		return nil
+		return o.emit(study.Render("Microbenchmarks (§4.1.1)"), study.Doc("micro"))
 
 	case "apps":
-		size, err := sizeOr(workloads.Super)
+		size, err := o.sizeOr(workloads.Super)
 		if err != nil {
 			return err
 		}
@@ -226,8 +265,7 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(study.Render("Real-world applications (§4.1.2)"))
-		return nil
+		return o.emit(study.Render("Real-world applications (§4.1.2)"), study.Doc("apps"))
 
 	case "oversub":
 		// Extension experiment: UVM oversubscription (see §2.1's cited
@@ -237,19 +275,105 @@ func dispatch(r *core.Runner, cmd string, sizeOr func(workloads.Size) (workloads
 		if err != nil {
 			return err
 		}
-		fmt.Print(study.Render())
-		return nil
+		return o.emit(study.Render(), study.Doc())
+
+	case "trace":
+		return runTrace(r, o)
 
 	case "all":
 		for _, sub := range []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8",
 			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "oversub"} {
-			fmt.Printf("==== %s ====\n", sub)
-			if err := dispatch(r, sub, sizeOr, jobs); err != nil {
+			if !o.json {
+				fmt.Printf("==== %s ====\n", sub)
+			}
+			if err := dispatch(r, sub, o); err != nil {
 				return err
 			}
-			fmt.Println()
+			if !o.json {
+				fmt.Println()
+			}
 		}
 		return nil
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// runTrace records one timeline per requested setup and writes each as
+// a Chrome trace-event file under -out. The runs fan out across the
+// executor (each binds its own tracer), and the files are byte-identical
+// for a given seed at any -par.
+func runTrace(r *core.Runner, o *options) error {
+	size, err := o.sizeOr(workloads.Large)
+	if err != nil {
+		return err
+	}
+	setups := cuda.AllSetups
+	if o.setupName != "" {
+		setup, err := cuda.ParseSetup(o.setupName)
+		if err != nil {
+			return err
+		}
+		setups = []cuda.Setup{setup}
+	}
+	if err := os.MkdirAll(o.outDir, 0o755); err != nil {
+		return err
+	}
+
+	results, err := r.TraceSetups(o.workload, size, setups)
+	if err != nil {
+		return err
+	}
+
+	infos := make([]any, 0, len(results))
+	for _, res := range results {
+		path := filepath.Join(o.outDir, fmt.Sprintf("trace_%s_%s.json", res.Workload, res.Setup))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		m := res.Tracer.Metrics()
+		if o.json {
+			busy := make(map[string]float64, trace.NumTracks)
+			for t := 0; t < trace.NumTracks; t++ {
+				tk := trace.Track(t)
+				if b := m.Busy(tk); b > 0 {
+					busy[tk.String()] = b
+				}
+			}
+			infos = append(infos, struct {
+				Workload string             `json:"workload"`
+				Setup    cuda.Setup         `json:"setup"`
+				Size     workloads.Size     `json:"size"`
+				Path     string             `json:"path"`
+				Events   int                `json:"events"`
+				BusyNs   map[string]float64 `json:"busy_ns_by_track"`
+			}{res.Workload, res.Setup, res.Size, path, res.Tracer.Len(), busy})
+			continue
+		}
+		fmt.Printf("wrote %s (%d events)\n", path, res.Tracer.Len())
+		for t := 0; t < trace.NumTracks; t++ {
+			tk := trace.Track(t)
+			tm := m.Tracks[t]
+			if tm.Spans == 0 && tm.Instants == 0 {
+				continue
+			}
+			fmt.Printf("  %-16s busy %12.2f ms  spans %5d  instants %5d\n",
+				tk, tm.Busy/1e6, tm.Spans, tm.Instants)
+		}
+	}
+	if o.json {
+		s, err := core.RenderJSON(core.FigureDoc{Figure: "trace", Data: infos})
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	}
+	return nil
 }

@@ -185,7 +185,11 @@ func (c *cellCache) do(key cellKey, compute func() (Result, error)) (Result, err
 // Cached Results are shared between callers and must be treated as
 // read-only, which every consumer in this package does.
 func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, compute func() (Result, error)) (Result, error) {
-	if !r.Cache || r.cache == nil {
+	// A traced run must actually simulate: a cache hit would return a
+	// Result computed without the hook's tracer attached (and a traced
+	// miss would poison the cache for untraced callers with an entry
+	// whose timeline side effects already fired).
+	if !r.Cache || r.cache == nil || r.TraceHook != nil {
 		return compute()
 	}
 	key := cellKey{

@@ -346,6 +346,11 @@ func (r *Runner) sweepCell(name string, setup cuda.Setup, size workloads.Size,
 	err := r.forEach(iters, func(i int) error {
 		seed := r.seedFor(name, setup, size, i) + int64(p*17)
 		ctx := cuda.NewContext(r.Config, setup, seed)
+		if r.TraceHook != nil {
+			if tr := r.TraceHook(name, setup, size, i); tr != nil {
+				ctx.SetTracer(tr)
+			}
+		}
 		if err := workloads.RunVectorSeqSensitivity(ctx, size, opts); err != nil {
 			return err
 		}

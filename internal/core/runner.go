@@ -21,6 +21,7 @@ import (
 	"uvmasim/internal/counters"
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/stats"
+	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
 )
 
@@ -43,6 +44,15 @@ type Runner struct {
 	// computed once and shared. Disable it to force every study to
 	// re-simulate (benchmarks measuring harness cost do).
 	Cache bool
+
+	// TraceHook, when non-nil, is consulted once per simulated iteration
+	// of every measurement cell; a non-nil return value is attached to
+	// that iteration's cuda.Context before the workload runs. Because
+	// each cell binds its own tracer, tracing composes with the parallel
+	// executor. A non-nil hook bypasses the cell cache (a cached Result
+	// carries no timeline), and attaching a tracer never changes
+	// simulated timing, so traced breakdowns equal untraced ones.
+	TraceHook func(workload string, setup cuda.Setup, size workloads.Size, iter int) *trace.Tracer
 
 	exec  *executor
 	cache *cellCache
@@ -156,6 +166,11 @@ func (r *Runner) measureCell(w workloads.Workload, setup cuda.Setup, size worklo
 	}
 	err := r.forEach(iters, func(i int) error {
 		ctx := cuda.NewContext(r.Config, setup, r.seedFor(w.Name(), setup, size, i))
+		if r.TraceHook != nil {
+			if tr := r.TraceHook(w.Name(), setup, size, i); tr != nil {
+				ctx.SetTracer(tr)
+			}
+		}
 		if err := w.Run(ctx, size); err != nil {
 			return fmt.Errorf("core: %s/%s/%s iteration %d: %w",
 				w.Name(), setup, size, i, err)

@@ -10,6 +10,7 @@ import (
 	"uvmasim/internal/hostmem"
 	"uvmasim/internal/pcie"
 	"uvmasim/internal/sim"
+	"uvmasim/internal/trace"
 	"uvmasim/internal/uvm"
 )
 
@@ -42,6 +43,7 @@ type Context struct {
 	overhead    float64
 	kernelSpans []sim.Interval
 	live        int
+	tracer      *trace.Tracer
 }
 
 // NewContext creates a fresh simulated process under the given setup.
@@ -76,6 +78,22 @@ func (c *Context) jitter(rel float64) float64 {
 	}
 	return 1 + rel*(2*c.rng.Float64()-1)
 }
+
+// SetTracer attaches an observability tracer to the context and to every
+// device model underneath it (engine, PCIe bus, UVM manager, GPU model).
+// Attach it right after NewContext, before the workload runs; a nil
+// tracer (the default) disables recording with no measurable cost. The
+// tracer only observes — attaching one never changes simulated timing.
+func (c *Context) SetTracer(tr *trace.Tracer) {
+	c.tracer = tr
+	c.eng.SetTracer(tr)
+	c.model.SetTracer(tr)
+	tr.Instant(trace.Host, "process_start", c.now, trace.Args{Setup: c.setup.String()})
+	tr.Count("process.overhead_ns", c.overhead)
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (c *Context) Tracer() *trace.Tracer { return c.tracer }
 
 // Setup returns the context's data-transfer configuration.
 func (c *Context) Setup() Setup { return c.setup }
@@ -128,7 +146,7 @@ func (c *Context) Malloc(name string, size int64) (*Buffer, error) {
 		c.dev.Free(addr)
 		return nil, err
 	}
-	c.chargeAlloc(c.cfg.Alloc.MallocTime(size))
+	c.chargeAlloc(c.cfg.Alloc.MallocTime(size), "cudaMalloc", size)
 	c.live++
 	return b, nil
 }
@@ -145,7 +163,7 @@ func (c *Context) MallocManaged(name string, size int64) (*Buffer, error) {
 		c.mgr.Unregister(region)
 		return nil, err
 	}
-	c.chargeAlloc(c.cfg.Alloc.ManagedTime(size))
+	c.chargeAlloc(c.cfg.Alloc.ManagedTime(size), "cudaMallocManaged", size)
 	c.live++
 	return b, nil
 }
@@ -162,10 +180,12 @@ func (c *Context) placeHost(b *Buffer) error {
 	return nil
 }
 
-// chargeAlloc advances the CPU cursor by a jittered allocation cost and
-// attributes it to the allocation component.
-func (c *Context) chargeAlloc(base float64) {
+// chargeAlloc advances the CPU cursor by a jittered allocation cost,
+// attributes it to the allocation component and records the API call on
+// the host track.
+func (c *Context) chargeAlloc(base float64, op string, size int64) {
 	cost := base * c.jitter(c.cfg.OverheadJitterRel)
+	c.tracer.Span(trace.Host, op, c.now, c.now+cost, trace.Args{Bytes: size})
 	c.now += cost
 	c.allocBusy += cost
 }
@@ -189,7 +209,7 @@ func (c *Context) Free(b *Buffer) error {
 	if err := c.host.Free(b.hostID); err != nil {
 		return err
 	}
-	c.chargeAlloc(c.cfg.Alloc.FreeTime(b.Size, b.managed))
+	c.chargeAlloc(c.cfg.Alloc.FreeTime(b.Size, b.managed), "cudaFree", b.Size)
 	return nil
 }
 
@@ -269,6 +289,7 @@ func (c *Context) HostCompute(d float64) {
 	if d < 0 {
 		panic("cuda: negative host compute time")
 	}
+	c.tracer.Span(trace.Host, "host_compute", c.now, c.now+d, trace.Args{})
 	c.now += d
 }
 
@@ -297,12 +318,14 @@ func (c *Context) Consume(b *Buffer) error {
 // Synchronize models cudaDeviceSynchronize: the CPU waits for all queued
 // device work, including in-flight prefetch streams.
 func (c *Context) Synchronize() {
+	before := c.now
 	if t := c.bus.H2D.BusyUntil(); t > c.now {
 		c.now = t
 	}
 	if t := c.bus.D2H.BusyUntil(); t > c.now {
 		c.now = t
 	}
+	c.tracer.Span(trace.Host, "cudaDeviceSynchronize", before, c.now, trace.Args{})
 }
 
 // execConfig resolves the gpu.ExecConfig for a launch under this setup.

@@ -5,6 +5,7 @@ import (
 
 	"uvmasim/internal/gpu"
 	"uvmasim/internal/sim"
+	"uvmasim/internal/trace"
 )
 
 // Launch describes one kernel invocation: its analytic work spec, the
@@ -54,6 +55,8 @@ func (c *Context) Launch(l Launch) error {
 		return err
 	}
 
+	c.tracer.Span(trace.Host, "cudaLaunchKernel", c.now, c.now+c.cfg.KernelLaunchNs,
+		trace.Args{Detail: l.Spec.Name})
 	c.now += c.cfg.KernelLaunchNs
 
 	// Prefetch pass (uvm_prefetch*): one driver call per input region.
@@ -66,6 +69,8 @@ func (c *Context) Launch(l Launch) error {
 	if c.setup.Prefetch() {
 		streamReady := c.now
 		for _, b := range l.Reads {
+			c.tracer.Span(trace.Host, "cudaMemPrefetchAsync", c.now, c.now+c.cfg.UVM.PrefetchCallNs,
+				trace.Args{Bytes: b.Size})
 			end := c.mgr.PrefetchRegion(b.region, c.now)
 			c.now += c.cfg.UVM.PrefetchCallNs
 			if end > streamReady {
@@ -94,6 +99,17 @@ func (c *Context) Launch(l Launch) error {
 
 	dur := end - start
 	c.kernelSpans = append(c.kernelSpans, sim.Interval{Start: start, End: end})
+	if c.tracer.Enabled() {
+		var readBytes int64
+		for _, b := range l.Reads {
+			readBytes += b.Size
+		}
+		c.tracer.Span(trace.Kernel, l.Spec.Name, start, end, trace.Args{
+			Bytes:  readBytes,
+			Setup:  c.setup.String(),
+			Detail: fmt.Sprintf("occupancy=%.3f", res.Occ.Fraction),
+		})
+	}
 	c.ctrs.RecordKernel(dur, res.Occ.Fraction)
 	c.ctrs.Inst.Add(res.Inst)
 	c.ctrs.L1.Add(res.L1)

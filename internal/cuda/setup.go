@@ -6,7 +6,10 @@
 // measures: data allocation, CPU-GPU data transfer, and GPU kernel time.
 package cuda
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Setup is one of the paper's five architecture configurations (§3.1.3).
 type Setup int
@@ -45,6 +48,26 @@ func (s Setup) String() string {
 		return "uvm_prefetch_async"
 	}
 	return fmt.Sprintf("Setup(%d)", int(s))
+}
+
+// MarshalJSON encodes the setup as its paper name, so machine-readable
+// figure output carries "uvm_prefetch" rather than an enum ordinal.
+func (s Setup) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a paper name back into a Setup.
+func (s *Setup) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	parsed, err := ParseSetup(name)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
 }
 
 // ParseSetup resolves a setup by its paper name.

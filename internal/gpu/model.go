@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"uvmasim/internal/counters"
+	"uvmasim/internal/trace"
 )
 
 // ExecConfig describes the environment of one kernel launch: which of the
@@ -79,7 +80,8 @@ type LaunchResult struct {
 
 // Model evaluates kernel launches against a GPU configuration.
 type Model struct {
-	cfg Config
+	cfg    Config
+	tracer *trace.Tracer
 }
 
 // NewModel returns a Model for the given GPU.
@@ -87,6 +89,12 @@ func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
 
 // Config returns the GPU configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// SetTracer attaches an observability tracer. The analytic model has no
+// clock of its own, so it contributes aggregate counters (launches, HBM
+// traffic, occupancy-weighted time) to the registry; the CUDA context
+// records the timed kernel spans.
+func (m *Model) SetTracer(tr *trace.Tracer) { m.tracer = tr }
 
 // occupancy resolves the launch geometry against SM resource limits.
 func (m *Model) occupancy(s KernelSpec, e ExecConfig) Occupancy {
@@ -379,6 +387,12 @@ func (m *Model) Launch(spec KernelSpec, e ExecConfig) LaunchResult {
 		inst.Mem = staged/16 + residual/4 + float64(s.StoreBytes)/4
 	} else {
 		inst.Mem = algLoads/4 + float64(s.StoreBytes)/4
+	}
+
+	if m.tracer != nil {
+		m.tracer.Count("gpu.launches", 1)
+		m.tracer.Count("gpu.traffic_bytes", traffic)
+		m.tracer.Count("gpu.exec_ns", exec)
 	}
 
 	return LaunchResult{

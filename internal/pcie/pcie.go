@@ -6,7 +6,10 @@
 // uvm_prefetch transfer-time comparison of §4.1 come out the way it does.
 package pcie
 
-import "uvmasim/internal/sim"
+import (
+	"uvmasim/internal/sim"
+	"uvmasim/internal/trace"
+)
 
 // Config describes the interconnect. Defaults follow PCIe 4.0 x16 as on
 // the paper's A100 host.
@@ -38,6 +41,7 @@ func DefaultConfig() Config {
 // Bus bundles the two DMA directions.
 type Bus struct {
 	cfg Config
+	eng *sim.Engine
 	H2D *sim.Link
 	D2H *sim.Link
 }
@@ -49,6 +53,7 @@ func New(eng *sim.Engine, cfg Config) *Bus {
 	}
 	return &Bus{
 		cfg: cfg,
+		eng: eng,
 		H2D: sim.NewLink(eng, "pcie-h2d", sim.GBPerSec(cfg.BandwidthGBs)),
 		D2H: sim.NewLink(eng, "pcie-d2h", sim.GBPerSec(cfg.BandwidthGBs)),
 	}
@@ -57,17 +62,26 @@ func New(eng *sim.Engine, cfg Config) *Bus {
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
+// Tracer returns the tracer attached to the bus's engine (nil when
+// tracing is disabled). The UVM manager records its fault activity
+// through it.
+func (b *Bus) Tracer() *trace.Tracer { return b.eng.Tracer() }
+
 // CopyH2DBulk reserves a bulk host->device copy starting no earlier than
 // t. hostEff (0,1] further derates the copy for host-side placement
 // effects (cross-chip buffers, Figure 6). It returns the completion time.
 func (b *Bus) CopyH2DBulk(t float64, bytes int64, hostEff float64) float64 {
-	return b.H2D.TransferAt(t, float64(bytes), b.cfg.LatencyNs, b.cfg.BulkEfficiency*hostEff, nil)
+	start, end := b.H2D.ReserveAt(t, float64(bytes), b.cfg.LatencyNs, b.cfg.BulkEfficiency*hostEff, nil)
+	b.Tracer().Span(trace.PCIeH2D, "memcpyH2D", start, end, trace.Args{Bytes: bytes})
+	return end
 }
 
 // CopyD2HBulk reserves a bulk device->host copy starting no earlier than
 // t and returns the completion time.
 func (b *Bus) CopyD2HBulk(t float64, bytes int64, hostEff float64) float64 {
-	return b.D2H.TransferAt(t, float64(bytes), b.cfg.LatencyNs, b.cfg.BulkEfficiency*hostEff, nil)
+	start, end := b.D2H.ReserveAt(t, float64(bytes), b.cfg.LatencyNs, b.cfg.BulkEfficiency*hostEff, nil)
+	b.Tracer().Span(trace.PCIeD2H, "memcpyD2H", start, end, trace.Args{Bytes: bytes})
+	return end
 }
 
 // MigrateOnDemand reserves a fault-granularity host->device migration and
@@ -83,19 +97,27 @@ func (b *Bus) MigrateOnDemand(t float64, bytes int64, patternEff float64) float6
 	if eff > 1 {
 		eff = 1
 	}
-	return b.H2D.TransferAt(t, float64(bytes), 0, eff, nil)
+	start, end := b.H2D.ReserveAt(t, float64(bytes), 0, eff, nil)
+	b.Tracer().Span(trace.PCIeH2D, "migrate", start, end, trace.Args{Bytes: bytes})
+	return end
 }
 
 // PrefetchChunk reserves a prefetch-stream host->device transfer and
-// returns the completion time.
+// returns the completion time. The span is recorded on the prefetch
+// track even though it occupies the H2D link, mirroring how profiler
+// timelines show the prefetch stream as its own row.
 func (b *Bus) PrefetchChunk(t float64, bytes int64) float64 {
-	return b.H2D.TransferAt(t, float64(bytes), 0, b.cfg.PrefetchEfficiency, nil)
+	start, end := b.H2D.ReserveAt(t, float64(bytes), 0, b.cfg.PrefetchEfficiency, nil)
+	b.Tracer().Span(trace.Prefetch, "prefetch", start, end, trace.Args{Bytes: bytes})
+	return end
 }
 
 // Writeback reserves a device->host dirty-page writeback and returns the
 // completion time.
 func (b *Bus) Writeback(t float64, bytes int64) float64 {
-	return b.D2H.TransferAt(t, float64(bytes), 0, b.cfg.WritebackEfficiency, nil)
+	start, end := b.D2H.ReserveAt(t, float64(bytes), 0, b.cfg.WritebackEfficiency, nil)
+	b.Tracer().Span(trace.PCIeD2H, "writeback", start, end, trace.Args{Bytes: bytes})
+	return end
 }
 
 // BusyTotal returns the combined busy time of both directions.

@@ -9,7 +9,11 @@
 // order they were scheduled.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"uvmasim/internal/trace"
+)
 
 // event is a scheduled callback.
 type event struct {
@@ -82,6 +86,7 @@ type Engine struct {
 	seq      uint64
 	pq       eventHeap
 	executed uint64
+	tracer   *trace.Tracer
 }
 
 // New returns an Engine with the clock at time zero.
@@ -91,6 +96,19 @@ func New() *Engine {
 
 // Now returns the current virtual time in nanoseconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetTracer attaches an observability tracer to the engine. Every model
+// holding the engine (links, the PCIe bus, the UVM manager, the CUDA
+// context) reads it through Tracer, so attaching here enables tracing
+// for the whole simulated system. A nil tracer (the default) disables
+// recording; the event loop itself never touches the tracer, so the
+// disabled fast path costs nothing.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+// All trace.Tracer methods are nil-receiver-safe, so callers may record
+// through the returned pointer unconditionally.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Executed reports how many events have fired so far, which tests use to
 // bound simulation work.

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Interval is a half-open span [Start, End) of virtual time in ns.
 type Interval struct {
 	Start, End float64
@@ -16,21 +18,26 @@ type IntervalSet struct {
 }
 
 // Add records the busy span [start, end). Zero- or negative-length spans
-// are ignored.
+// are ignored. Starts must be non-decreasing: FIFO links reserve time
+// monotonically, so an out-of-order add indicates a broken cost model
+// and panics (like Engine.At does for past scheduling) rather than being
+// silently merged into the previous interval.
 func (s *IntervalSet) Add(start, end float64) {
 	if end <= start {
 		return
 	}
 	n := len(s.ivs)
-	if n > 0 && start <= s.ivs[n-1].End {
-		// Merge with the previous interval.
-		if end > s.ivs[n-1].End {
-			s.ivs[n-1].End = end
-		}
+	if n > 0 {
 		if start < s.ivs[n-1].Start {
-			s.ivs[n-1].Start = start
+			panic(fmt.Sprintf("sim: interval added at %v before previous start %v", start, s.ivs[n-1].Start))
 		}
-		return
+		if start <= s.ivs[n-1].End {
+			// Overlapping or adjacent: merge with the previous interval.
+			if end > s.ivs[n-1].End {
+				s.ivs[n-1].End = end
+			}
+			return
+		}
 	}
 	s.ivs = append(s.ivs, Interval{start, end})
 }

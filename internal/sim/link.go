@@ -1,5 +1,7 @@
 package sim
 
+import "uvmasim/internal/trace"
+
 // Link models a bandwidth-limited FIFO pipe: a PCIe direction, an HBM
 // channel group, or a DMA engine. Transfers queue behind each other; each
 // occupies the link for latency + size/bandwidth. Busy time is recorded in
@@ -62,6 +64,18 @@ func (l *Link) Transfer(size, latency, eff float64, done func(end float64)) floa
 // time from a kernel's internal progress cursor without driving the
 // event loop. The transfer begins at max(earliest, link drain time).
 func (l *Link) TransferAt(earliest, size, latency, eff float64, done func(end float64)) float64 {
+	_, end := l.ReserveAt(earliest, size, latency, eff, done)
+	return end
+}
+
+// ReserveAt is TransferAt exposing the resolved start time as well, so
+// observability layers can record the transfer's actual busy span (queue
+// wait excluded) rather than only its completion.
+//
+// The results are deliberately unnamed locals: the done-callback closure
+// must not capture a result variable, or every call would heap-allocate
+// it even with done == nil (the Tracer's zero-overhead contract).
+func (l *Link) ReserveAt(earliest, size, latency, eff float64, done func(end float64)) (float64, float64) {
 	dur := l.TransferTime(size, latency, eff)
 	start := earliest
 	if now := l.eng.Now(); start < now {
@@ -76,8 +90,12 @@ func (l *Link) TransferAt(earliest, size, latency, eff float64, done func(end fl
 	if done != nil {
 		l.eng.At(end, func() { done(end) })
 	}
-	return end
+	return start, end
 }
+
+// Tracer returns the tracer attached to the link's engine (nil when
+// tracing is disabled).
+func (l *Link) Tracer() *trace.Tracer { return l.eng.Tracer() }
 
 // BusyUntil reports the time at which the link drains.
 func (l *Link) BusyUntil() float64 { return l.busyUntil }

@@ -109,6 +109,28 @@ func TestIntervalSetMergeAndTotal(t *testing.T) {
 	}
 }
 
+// TestIntervalSetOutOfOrderPanics pins the FIFO ordering contract: adds
+// whose start precedes the previous interval's start indicate a broken
+// cost model and must panic instead of silently widening the previous
+// interval.
+func TestIntervalSetOutOfOrderPanics(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 20)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order Add should panic")
+			}
+		}()
+		s.Add(5, 8)
+	}()
+	// Overlapping-but-ordered adds still merge without panicking.
+	s.Add(15, 30)
+	if s.Count() != 1 || s.Total() != 20 {
+		t.Errorf("merge after ordered overlap: count=%d total=%v", s.Count(), s.Total())
+	}
+}
+
 func TestIntervalSetOverlap(t *testing.T) {
 	var s IntervalSet
 	s.Add(0, 10)

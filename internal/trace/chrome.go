@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Chrome trace-event export. The format is the JSON object form of the
+// Trace Event Format ({"traceEvents": [...]}) that Perfetto and
+// chrome://tracing load directly: complete events (ph "X") for spans,
+// thread-scoped instants (ph "i") for markers, and metadata events
+// (ph "M") naming the process and one thread per track.
+//
+// Timestamps are virtual nanoseconds converted to the format's
+// microsecond unit and serialized with fixed three-decimal precision
+// (nanosecond resolution), so the byte output is a deterministic
+// function of the recorded events.
+
+// writeJSONString appends s as a JSON string literal. Event and counter
+// names are simulator-chosen identifiers, but escape defensively.
+func writeJSONString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				b.WriteString(`\u`)
+				const hex = "0123456789abcdef"
+				b.WriteByte('0')
+				b.WriteByte('0')
+				b.WriteByte(hex[(r>>4)&0xf])
+				b.WriteByte(hex[r&0xf])
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+}
+
+// micros formats a virtual-ns quantity in microseconds with fixed
+// nanosecond precision.
+func micros(ns float64) string {
+	return strconv.FormatFloat(ns/1e3, 'f', 3, 64)
+}
+
+// writeArgs appends the event's args object (possibly empty).
+func writeArgs(b *strings.Builder, a Args) {
+	b.WriteString(`"args":{`)
+	first := true
+	field := func(name string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		writeJSONString(b, name)
+		b.WriteByte(':')
+	}
+	if a.Bytes != 0 {
+		field("bytes")
+		b.WriteString(strconv.FormatInt(a.Bytes, 10))
+	}
+	if a.HasChunk {
+		field("chunk")
+		b.WriteString(strconv.Itoa(a.Chunk))
+	}
+	if a.Batch != 0 {
+		field("batch")
+		b.WriteString(strconv.FormatFloat(a.Batch, 'g', -1, 64))
+	}
+	if a.Setup != "" {
+		field("setup")
+		writeJSONString(b, a.Setup)
+	}
+	if a.Detail != "" {
+		field("detail")
+		writeJSONString(b, a.Detail)
+	}
+	b.WriteByte('}')
+}
+
+// WriteChromeTrace writes the recorded events as Chrome trace-event JSON.
+// Events are emitted in (start time, insertion order) so the file is
+// byte-identical for identical event sequences. A nil tracer writes a
+// valid empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+
+	var b strings.Builder
+	// Metadata: process name and one named thread per track, in track
+	// order so Perfetto shows the timeline rows in pipeline order.
+	b.WriteString(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"uvmasim"}}`)
+	for tr := Track(0); tr < numTracks; tr++ {
+		b.WriteString(",\n")
+		b.WriteString(`{"ph":"M","pid":1,"tid":`)
+		b.WriteString(strconv.Itoa(int(tr) + 1))
+		b.WriteString(`,"name":"thread_name","args":{"name":`)
+		writeJSONString(&b, tr.String())
+		b.WriteString(`}}`)
+		b.WriteString(",\n")
+		b.WriteString(`{"ph":"M","pid":1,"tid":`)
+		b.WriteString(strconv.Itoa(int(tr) + 1))
+		b.WriteString(`,"name":"thread_sort_index","args":{"sort_index":`)
+		b.WriteString(strconv.Itoa(int(tr)))
+		b.WriteString(`}}`)
+	}
+	bw.WriteString(b.String())
+
+	events := t.Events()
+	// Stable order by start time; ties keep insertion (simulation call)
+	// order, which is itself deterministic.
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return events[order[i]].Start < events[order[j]].Start
+	})
+
+	for _, idx := range order {
+		e := events[idx]
+		b.Reset()
+		b.WriteString(",\n{")
+		b.WriteString(`"name":`)
+		writeJSONString(&b, e.Name)
+		if e.Instant {
+			b.WriteString(`,"ph":"i","s":"t"`)
+		} else {
+			b.WriteString(`,"ph":"X"`)
+		}
+		b.WriteString(`,"pid":1,"tid":`)
+		b.WriteString(strconv.Itoa(int(e.Track) + 1))
+		b.WriteString(`,"ts":`)
+		b.WriteString(micros(e.Start))
+		if !e.Instant {
+			b.WriteString(`,"dur":`)
+			b.WriteString(micros(e.Dur))
+		}
+		b.WriteByte(',')
+		writeArgs(&b, e.Args)
+		b.WriteByte('}')
+		bw.WriteString(b.String())
+	}
+
+	// Counters travel as one final metadata event so aggregate values
+	// survive into the exported artifact.
+	if t != nil && len(t.counters) > 0 {
+		b.Reset()
+		b.WriteString(",\n")
+		b.WriteString(`{"ph":"M","pid":1,"name":"uvmasim_counters","args":{`)
+		names := t.Metrics().CounterNames()
+		for i, name := range names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeJSONString(&b, name)
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatFloat(t.counters[name], 'g', -1, 64))
+		}
+		b.WriteString(`}}`)
+		bw.WriteString(b.String())
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,122 @@
+package trace
+
+import "sort"
+
+// TrackMetrics aggregates one track's recorded activity.
+type TrackMetrics struct {
+	// Spans and Instants count recorded events.
+	Spans    int
+	Instants int
+	// Busy is the union length of the track's spans in ns. Spans on a
+	// track never overlap (each track models a FIFO resource), so this
+	// equals the summed span durations.
+	Busy float64
+	// Bytes sums the Bytes argument across the track's events.
+	Bytes int64
+}
+
+// Metrics is the aggregate view of one Tracer: the registry the harness
+// reads instead of (or cross-checked against) cuda.Breakdown.
+type Metrics struct {
+	// Tracks holds per-track aggregates indexed by Track.
+	Tracks [NumTracks]TrackMetrics
+	// Counters holds the named counter registry.
+	Counters map[string]float64
+}
+
+// Busy returns the busy time of one track.
+func (m Metrics) Busy(track Track) float64 { return m.Tracks[track].Busy }
+
+// TransferBusy returns the combined busy time of the three transfer
+// tracks (PCIe H2D, PCIe D2H, prefetch stream) — the trace-derived
+// equivalent of cuda.Breakdown's Memcpy component.
+func (m Metrics) TransferBusy() float64 {
+	return m.Tracks[PCIeH2D].Busy + m.Tracks[PCIeD2H].Busy + m.Tracks[Prefetch].Busy
+}
+
+// Metrics computes the aggregate registry over the recorded events. A
+// nil tracer yields zero metrics.
+func (t *Tracer) Metrics() Metrics {
+	var m Metrics
+	if t == nil {
+		return m
+	}
+	for _, e := range t.events {
+		tm := &m.Tracks[e.Track]
+		if e.Instant {
+			tm.Instants++
+		} else {
+			tm.Spans++
+			tm.Busy += e.Dur
+		}
+		tm.Bytes += e.Args.Bytes
+	}
+	if len(t.counters) > 0 {
+		m.Counters = make(map[string]float64, len(t.counters))
+		for k, v := range t.counters {
+			m.Counters[k] = v
+		}
+	}
+	return m
+}
+
+// CounterNames returns the registry's counter names in sorted order, for
+// deterministic iteration.
+func (m Metrics) CounterNames() []string {
+	names := make([]string, 0, len(m.Counters))
+	for k := range m.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OverlapWithin returns the busy time of the given tracks that falls
+// inside [a, b). It is the trace-side counterpart of the bus-overlap
+// subtraction cuda.Breakdown applies to kernel spans.
+func (t *Tracer) OverlapWithin(a, b float64, tracks ...Track) float64 {
+	if t == nil || b <= a {
+		return 0
+	}
+	want := [NumTracks]bool{}
+	for _, tr := range tracks {
+		want[tr] = true
+	}
+	sum := 0.0
+	for _, e := range t.events {
+		if e.Instant || !want[e.Track] {
+			continue
+		}
+		lo, hi := e.Start, e.End()
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			sum += hi - lo
+		}
+	}
+	return sum
+}
+
+// SpansMonotonic reports whether every track's spans are non-overlapping
+// and in non-decreasing start order — the well-formedness property the
+// FIFO resources guarantee and the Chrome export relies on.
+func (t *Tracer) SpansMonotonic() bool {
+	if t == nil {
+		return true
+	}
+	var lastEnd [NumTracks]float64
+	for _, e := range t.events {
+		if e.Instant {
+			continue
+		}
+		if e.Start < lastEnd[e.Track] {
+			return false
+		}
+		lastEnd[e.Track] = e.End()
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestNilTracerIsSafeAndEmpty(t *testing.T) {
+	var tr *Tracer
+	tr.Span(Kernel, "k", 0, 10, Args{})
+	tr.Instant(UVMFaults, "f", 5, Args{})
+	tr.Count("x", 1)
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded events")
+	}
+	m := tr.Metrics()
+	if m.TransferBusy() != 0 || m.Counters != nil {
+		t.Error("nil tracer produced metrics")
+	}
+	if !tr.SpansMonotonic() {
+		t.Error("nil tracer not monotonic")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("nil tracer export is not valid JSON")
+	}
+}
+
+func TestSpanRecordingAndMetrics(t *testing.T) {
+	tr := New()
+	tr.Span(PCIeH2D, "memcpyH2D", 0, 100, Args{Bytes: 1 << 20})
+	tr.Span(PCIeH2D, "migrate", 100, 150, ChunkArgs(3, 2<<20))
+	tr.Span(Prefetch, "prefetch", 50, 90, Args{Bytes: 2 << 20})
+	tr.Span(Kernel, "gemm", 40, 240, Args{})
+	tr.Span(Kernel, "gemm", 300, 300, Args{}) // zero length: dropped
+	tr.Instant(UVMFaults, "fault_batch", 100, Args{Batch: 32})
+	tr.Count("uvm.fault_batches", 1)
+	tr.Count("uvm.fault_batches", 2)
+
+	if tr.Len() != 5 {
+		t.Fatalf("recorded %d events, want 5", tr.Len())
+	}
+	m := tr.Metrics()
+	if got := m.Busy(PCIeH2D); got != 150 {
+		t.Errorf("H2D busy = %v, want 150", got)
+	}
+	if got := m.TransferBusy(); got != 190 {
+		t.Errorf("transfer busy = %v, want 190", got)
+	}
+	if m.Tracks[PCIeH2D].Bytes != 3<<20 {
+		t.Errorf("H2D bytes = %d, want %d", m.Tracks[PCIeH2D].Bytes, 3<<20)
+	}
+	if m.Tracks[UVMFaults].Instants != 1 || m.Tracks[UVMFaults].Spans != 0 {
+		t.Errorf("fault track events = %+v", m.Tracks[UVMFaults])
+	}
+	if m.Counters["uvm.fault_batches"] != 3 {
+		t.Errorf("counter = %v, want 3", m.Counters["uvm.fault_batches"])
+	}
+	// Clipped to [40,240): H2D contributes 60+50, prefetch 40.
+	if got := tr.OverlapWithin(40, 240, PCIeH2D, Prefetch, PCIeD2H); got != 150 {
+		t.Errorf("overlap within kernel span = %v, want 150", got)
+	}
+	if !tr.SpansMonotonic() {
+		t.Error("per-track monotonic spans reported as non-monotonic")
+	}
+}
+
+func TestSpansMonotonicDetectsOverlap(t *testing.T) {
+	tr := New()
+	tr.Span(Kernel, "a", 0, 100, Args{})
+	tr.Span(Kernel, "b", 50, 120, Args{})
+	if tr.SpansMonotonic() {
+		t.Error("overlapping kernel spans reported as monotonic")
+	}
+}
+
+// chromeDoc mirrors the exported format for validation.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		PID  int             `json:"pid"`
+		TID  int             `json:"tid"`
+		TS   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func buildSample() *Tracer {
+	tr := New()
+	tr.Span(Host, "cudaMalloc", 0, 10, Args{Bytes: 4096})
+	tr.Span(PCIeH2D, "memcpyH2D", 10, 110, Args{Bytes: 1 << 20})
+	tr.Span(Kernel, "saxpy", 110, 210, Args{Setup: "standard"})
+	tr.Instant(UVMFaults, "fault_batch", 150, Args{Batch: 8, Bytes: 64 << 10})
+	tr.Span(PCIeD2H, "writeback", 210, 260, ChunkArgs(0, 2<<20))
+	tr.Count("gpu.launches", 1)
+	return tr
+}
+
+func TestChromeExportWellFormed(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 process_name + 2 per track metadata + 5 events + counters.
+	wantEvents := 1 + 2*NumTracks + 5 + 1
+	if len(doc.TraceEvents) != wantEvents {
+		t.Fatalf("exported %d events, want %d", len(doc.TraceEvents), wantEvents)
+	}
+	// Per-tid "X" spans must be monotonic and non-overlapping.
+	lastEnd := map[int]float64{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.TS+1e-9 < lastEnd[e.TID] {
+			t.Errorf("span %q on tid %d starts at %v before previous end %v",
+				e.Name, e.TID, e.TS, lastEnd[e.TID])
+		}
+		lastEnd[e.TID] = e.TS + e.Dur
+	}
+	// Timestamps are microseconds: the 100 ns memcpy span is 0.1 us.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "memcpyH2D" && math.Abs(e.Dur-0.1) > 1e-9 {
+			t.Errorf("memcpyH2D dur = %v us, want 0.1", e.Dur)
+		}
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSample().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSample().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical event sequences exported different bytes")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"uvmasim/internal/counters"
 	"uvmasim/internal/pcie"
+	"uvmasim/internal/trace"
 )
 
 // Config tunes the driver model.
@@ -194,6 +195,10 @@ func (m *Manager) makeRoom(t float64, need int64) float64 {
 		victim.arrival[vIdx] = math.Inf(1)
 		m.resident -= size
 		m.Stats.EvictedBytes += float64(size)
+		if tr := m.bus.Tracer(); tr != nil {
+			tr.Instant(trace.UVMFaults, "evict", ready, trace.ChunkArgs(vIdx, size))
+			tr.Count("uvm.evicted_bytes", float64(size))
+		}
 	}
 	return ready
 }
@@ -219,6 +224,12 @@ func (m *Manager) DemandChunk(r *Region, idx int, t float64, patternEff float64,
 			if arr > wait {
 				wait = arr
 			}
+			if tr := m.bus.Tracer(); tr != nil {
+				// The access raced an in-flight prefetch: one fault, no
+				// migration traffic.
+				tr.Instant(trace.UVMFaults, "fault_wait", t, trace.ChunkArgs(idx, 0))
+				tr.Count("uvm.fault_batches", 1)
+			}
 			return wait
 		}
 		return t
@@ -234,6 +245,13 @@ func (m *Manager) DemandChunk(r *Region, idx int, t float64, patternEff float64,
 	m.Stats.PageFaults += blocks
 	m.Stats.FaultBatches++
 	m.Stats.MigratedBytes += float64(size)
+	if tr := m.bus.Tracer(); tr != nil {
+		args := trace.ChunkArgs(idx, size)
+		args.Batch = blocks
+		tr.Instant(trace.UVMFaults, "fault_batch", ready, args)
+		tr.Count("uvm.fault_batches", 1)
+		tr.Count("uvm.migrated_bytes", float64(size))
+	}
 	end := m.bus.MigrateOnDemand(ready+latency, size, patternEff)
 	r.arrival[idx] = end
 	m.resident += size

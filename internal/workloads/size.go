@@ -9,7 +9,10 @@
 //     timing runs at the paper's input scales.
 package workloads
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Size is one of the six input-size classes of Table 3.
 type Size int
@@ -43,6 +46,26 @@ func (s Size) String() string {
 		return "mega"
 	}
 	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// MarshalJSON encodes the size as its class name ("large"), so
+// machine-readable figure output stays self-describing.
+func (s Size) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a class name back into a Size.
+func (s *Size) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	parsed, err := ParseSize(name)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
 }
 
 // ParseSize resolves a class by name.
