@@ -10,8 +10,11 @@ import (
 	"testing"
 
 	"uvmasim/internal/core"
+	"uvmasim/internal/counters"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/pcie"
 	"uvmasim/internal/sim"
+	"uvmasim/internal/uvm"
 	"uvmasim/internal/workloads"
 )
 
@@ -216,6 +219,71 @@ func BenchmarkFig14MultiJob(b *testing.B) {
 	}
 	b.ReportMetric(imp, "%pipeline-improvement")
 }
+
+// BenchmarkOversubscription regenerates the full oversub artifact on the
+// default dense ratio grid — the sweep whose per-eviction full scan made
+// the pre-refactor `uvmbench oversub` CPU-bound in uvm.makeRoom. Its
+// ns/op is the committed baseline in BENCH_oversub.json; CI fails if it
+// regresses more than 3x (scripts/bench_oversub.sh).
+func BenchmarkOversubscription(b *testing.B) {
+	r := benchRunner()
+	var evicted float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		study, err := r.Oversubscription(cuda.UVMPrefetch, core.DefaultOversubRatios, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evicted = 0
+		for _, p := range study.Points {
+			evicted += p.EvictedBytes
+		}
+		if evicted == 0 {
+			b.Fatal("oversubscribed sweep did not evict")
+		}
+	}
+	b.ReportMetric(evicted/(1<<30), "GiB-evicted")
+}
+
+// benchUVMEvictionMega churns a Mega-size (32 GB) managed region through
+// sequential demand faults against an 8 GB budget, so steady state evicts
+// on every fault — the driver-level hot loop behind the oversub sweep,
+// isolated from kernels and figure rendering.
+func benchUVMEvictionMega(b *testing.B, reference bool) {
+	const capacity = 8 << 30
+	footprint := workloads.Mega.Footprint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.New()
+		bus := pcie.New(eng, pcie.DefaultConfig())
+		var stats counters.UVMStats
+		m := uvm.NewManager(uvm.DefaultConfig(), bus, capacity, &stats)
+		m.SetReferenceEviction(reference)
+		r, err := m.Register(footprint)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		now := 0.0
+		for pass := 0; pass < 2; pass++ {
+			for c := 0; c < r.NumChunks(); c++ {
+				now = m.DemandChunk(r, c, now, 1, true)
+			}
+		}
+		if stats.Evictions == 0 {
+			b.Fatal("churn did not evict")
+		}
+	}
+}
+
+func BenchmarkUVMEvictionMega(b *testing.B) { benchUVMEvictionMega(b, false) }
+
+// BenchmarkUVMEvictionMegaScan runs the same churn through the retained
+// reference scan evictor; the ratio against BenchmarkUVMEvictionMega is
+// the data-structure speedup in isolation.
+func BenchmarkUVMEvictionMegaScan(b *testing.B) { benchUVMEvictionMega(b, true) }
 
 // BenchmarkContextCycle measures one full simulated process — context
 // creation through a vector_seq run — with allocation accounting, so the

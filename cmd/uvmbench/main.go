@@ -33,8 +33,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -80,6 +82,12 @@ func (o *options) emit(text string, doc core.FigureDoc) error {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("uvmbench", flag.ContinueOnError)
+	// The flag package prints its own error + full flag dump before
+	// returning it, and main prints the error again — a duplicated,
+	// noisy failure for a typo like `-iters`. Silence the package's
+	// copy; parse errors are reported once by main, with a nearest-flag
+	// suggestion (see flagError).
+	fs.SetOutput(io.Discard)
 	iters := fs.Int("i", core.DefaultIterations, "iterations per configuration")
 	seed := fs.Int64("seed", 1, "base random seed")
 	sizeName := fs.String("size", "", "override input-size class (tiny..mega)")
@@ -89,11 +97,27 @@ func run(args []string) error {
 	workload := fs.String("workload", "gemm", "workload for the trace subcommand")
 	setupName := fs.String("setup", "", "setup for the trace subcommand (empty = all five)")
 	outDir := fs.String("out", ".", "directory for trace output files")
+	usage := func(w io.Writer) {
+		fmt.Fprintln(w, "usage: uvmbench [flags] <subcommand>[,<subcommand>...]")
+		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list all")
+		fmt.Fprintln(w, "flags:")
+		fs.SetOutput(w)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
+	// Parse calls fs.Usage itself on every error; keep that a no-op so a
+	// typo gets one diagnostic line, not a flag dump, and print the
+	// usage explicitly on -h and on a missing subcommand.
+	fs.Usage = func() {}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			usage(os.Stdout)
+			return nil
+		}
+		return flagError(fs, err)
 	}
 	if fs.NArg() < 1 {
-		fs.Usage()
+		usage(os.Stderr)
 		return fmt.Errorf("missing subcommand (try: uvmbench all)")
 	}
 	if *par < 0 {
@@ -126,6 +150,66 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// flagError rewrites a flag.Parse error for single-line reporting. For
+// an unknown flag it appends the nearest registered flag: a registered
+// name that prefixes the typo wins (so `-iters` suggests `-i`, the
+// iterations flag), otherwise the smallest edit distance within 2.
+func flagError(fs *flag.FlagSet, err error) error {
+	const unknown = "flag provided but not defined: -"
+	msg := err.Error()
+	if !strings.HasPrefix(msg, unknown) {
+		return err
+	}
+	name := strings.TrimPrefix(msg, unknown)
+	best, bestDist := "", 3
+	fs.VisitAll(func(f *flag.Flag) {
+		if strings.HasPrefix(name, f.Name) {
+			if bestDist > 0 || len(f.Name) > len(best) {
+				best, bestDist = f.Name, 0
+			}
+			return
+		}
+		if d := editDistance(name, f.Name); d < bestDist {
+			best, bestDist = f.Name, d
+		}
+	})
+	if best != "" {
+		return fmt.Errorf("unknown flag -%s (did you mean -%s?)", name, best)
+	}
+	return fmt.Errorf("unknown flag -%s (run 'uvmbench -h' for the flag list)", name)
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
 }
 
 func dispatch(r *core.Runner, cmd string, o *options) error {
@@ -269,9 +353,9 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 
 	case "oversub":
 		// Extension experiment: UVM oversubscription (see §2.1's cited
-		// related work). Two passes over footprints around capacity.
-		study, err := r.Oversubscription(cuda.UVMPrefetch,
-			[]float64{0.25, 0.5, 0.75, 0.9, 1.1, 1.3}, 2)
+		// related work). Two passes over footprints around capacity, on a
+		// grid dense around the cliff (cheap now that eviction is O(1)).
+		study, err := r.Oversubscription(cuda.UVMPrefetch, core.DefaultOversubRatios, 2)
 		if err != nil {
 			return err
 		}

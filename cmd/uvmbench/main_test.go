@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -78,5 +79,45 @@ func TestParFlag(t *testing.T) {
 	}
 	if err := run([]string{"-par", "-1", "table3"}); err == nil {
 		t.Error("negative -par should error")
+	}
+}
+
+// TestUnknownFlagSuggestion pins the deduped flag diagnostics: a typo
+// produces exactly one error mentioning the nearest registered flag, and
+// no flag dump from the flag package itself.
+func TestUnknownFlagSuggestion(t *testing.T) {
+	cases := []struct{ typo, want string }{
+		{"-iters", "did you mean -i?"},
+		{"-pra", "did you mean -par?"},
+		{"-sede", "did you mean -seed?"},
+	}
+	for _, c := range cases {
+		err := run([]string{c.typo, "3", "oversub"})
+		if err == nil {
+			t.Fatalf("%s: expected an error", c.typo)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown flag "+c.typo) || !strings.Contains(msg, c.want) {
+			t.Errorf("%s: error %q should name the flag and suggest %q", c.typo, msg, c.want)
+		}
+		if n := strings.Count(msg, c.typo); n != 1 {
+			t.Errorf("%s: flag named %d times in %q, want once", c.typo, n, msg)
+		}
+	}
+	// A typo near nothing gets the -h pointer instead of a bad guess.
+	if err := run([]string{"-zzzzzz", "list"}); err == nil ||
+		!strings.Contains(err.Error(), "uvmbench -h") {
+		t.Errorf("far-off typo should point at -h, got %v", err)
+	}
+}
+
+// TestHelpFlag: -h prints the usage (once, to stdout) and succeeds.
+func TestHelpFlag(t *testing.T) {
+	out := capture(t, "-h")
+	if n := strings.Count(out, "usage: uvmbench"); n != 1 {
+		t.Errorf("usage printed %d times, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "subcommands:") || !strings.Contains(out, "-i int") {
+		t.Errorf("usage should list subcommands and flags:\n%s", out)
 	}
 }

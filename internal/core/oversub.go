@@ -30,6 +30,14 @@ type OversubStudy struct {
 	Points []OversubPoint
 }
 
+// DefaultOversubRatios is the footprint/capacity grid the uvmbench
+// `oversub` subcommand sweeps. It brackets the capacity cliff densely
+// (0.9–1.2 in 0.05 steps) and extends to 2x so the eviction-bound tail
+// is visible; the O(1) evictor makes the dense grid cheap to run.
+var DefaultOversubRatios = []float64{
+	0.25, 0.5, 0.75, 0.9, 0.95, 1.0, 1.05, 1.1, 1.15, 1.2, 1.3, 1.4, 1.5, 1.75, 2.0,
+}
+
 // Oversubscription sweeps footprint ratios (e.g. 0.5, 0.9, 1.2, 1.5) of
 // the managed capacity under the given UVM setup, running `passes`
 // sequential sweeps over the data so that ratios above 1.0 must evict.

@@ -66,6 +66,7 @@ type UVMStats struct {
 	PrefetchBytes  float64 // host->device prefetched volume
 	WritebackBytes float64 // device->host writeback volume
 	EvictedBytes   float64 // bytes evicted under memory pressure
+	Evictions      float64 // chunks evicted under memory pressure
 }
 
 // Add accumulates o into u.
@@ -76,6 +77,7 @@ func (u *UVMStats) Add(o UVMStats) {
 	u.PrefetchBytes += o.PrefetchBytes
 	u.WritebackBytes += o.WritebackBytes
 	u.EvictedBytes += o.EvictedBytes
+	u.Evictions += o.Evictions
 }
 
 // Set is the full counter group for one run (one process execution in

@@ -177,3 +177,59 @@ func TestKernelSpansOrdered(t *testing.T) {
 		}
 	}
 }
+
+// TestEvictionBookkeepingAcrossSetups drives every managed setup past
+// the device budget and checks the indexed residency bookkeeping the
+// O(1) evictor maintains: eviction counters advance, the resident
+// footprint never exceeds the managed capacity, and the per-region O(1)
+// summaries agree with manager-level accounting.
+func TestEvictionBookkeepingAcrossSetups(t *testing.T) {
+	for _, setup := range AllSetups {
+		if !setup.Managed() {
+			continue
+		}
+		setup := setup
+		t.Run(setup.String(), func(t *testing.T) {
+			cfg := DefaultSystemConfig()
+			cfg.GPU.HBMCapacity = 192 << 20
+			capacity := int64(float64(cfg.GPU.HBMCapacity) * cfg.ManagedCapacityFraction)
+			ctx := NewContext(cfg, setup, 11)
+			a, err := ctx.Alloc("a", 150<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ctx.Alloc("b", 150<<20) // together 1.6x capacity
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := streamSpec(30 << 20)
+			for pass := 0; pass < 2; pass++ {
+				for _, buf := range []*Buffer{a, b} {
+					if err := ctx.Launch(Launch{Spec: spec, Reads: []*Buffer{buf}, Writes: []*Buffer{buf}}); err != nil {
+						t.Fatal(err)
+					}
+					ctx.Synchronize()
+					if got := ctx.mgr.ResidentBytes(); got > capacity {
+						t.Fatalf("resident %d exceeds managed capacity %d", got, capacity)
+					}
+				}
+			}
+			uvmStats := ctx.Counters().UVM
+			if uvmStats.Evictions <= 0 || uvmStats.EvictedBytes <= 0 {
+				t.Errorf("oversubscribed run should evict: %+v", uvmStats)
+			}
+			if sum := a.region.ResidentBytes() + b.region.ResidentBytes(); sum != ctx.mgr.ResidentBytes() {
+				t.Errorf("region summaries %d disagree with manager residency %d",
+					sum, ctx.mgr.ResidentBytes())
+			}
+			for _, buf := range []*Buffer{a, b} {
+				if err := ctx.Free(buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := ctx.mgr.ResidentBytes(); got != 0 {
+				t.Errorf("resident bytes leaked after free: %d", got)
+			}
+		})
+	}
+}

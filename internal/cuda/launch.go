@@ -90,6 +90,11 @@ func (c *Context) Launch(l Launch) error {
 		end = c.paceManaged(l, res, start)
 	}
 
+	// Written managed buffers become fully resident and dirty. Both calls
+	// are batched per region: MarkDeviceWritten does one capacity check
+	// for the region's whole non-resident remainder (falling back to
+	// per-chunk eviction only under pressure), and MarkDirty splices the
+	// full chunk range into the dirty index with one pass.
 	for _, b := range l.Writes {
 		if b.managed {
 			c.mgr.MarkDeviceWritten(b.region, end)

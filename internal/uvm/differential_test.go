@@ -1,0 +1,259 @@
+package uvm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvmasim/internal/counters"
+	"uvmasim/internal/pcie"
+	"uvmasim/internal/sim"
+	"uvmasim/internal/trace"
+)
+
+// The differential harness drives the O(1) LRU-ring evictor and the
+// retained reference scan evictor (refscan.go) through identical random
+// workloads — demand faults, prefetch streams, device writes, dirty
+// marks, partial writebacks, unregister/re-register — on two managers
+// with independent buses, and asserts they stay bit-for-bit equal:
+// identical victim order and eviction-complete times, identical returned
+// availability times, identical UVMStats, identical per-chunk state and
+// identical trace event streams.
+
+type evictRec struct {
+	region int // ordinal in the harness's region table
+	idx    int
+	at     float64
+}
+
+// diffRig is one manager under test plus its recording hooks.
+type diffRig struct {
+	m       *Manager
+	tr      *trace.Tracer
+	regions []*Region
+	ords    map[*Region]int
+	evicts  []evictRec
+}
+
+func newDiffRig(capacity int64, reference bool) *diffRig {
+	eng := sim.New()
+	tr := trace.New()
+	eng.SetTracer(tr)
+	bus := pcie.New(eng, pcie.DefaultConfig())
+	rig := &diffRig{
+		m:    NewManager(DefaultConfig(), bus, capacity, &counters.UVMStats{}),
+		tr:   tr,
+		ords: make(map[*Region]int),
+	}
+	rig.m.SetReferenceEviction(reference)
+	rig.m.onEvict = func(r *Region, idx int, ready float64) {
+		rig.evicts = append(rig.evicts, evictRec{rig.ords[r], idx, ready})
+	}
+	return rig
+}
+
+func (rig *diffRig) register(t *testing.T, size int64) {
+	t.Helper()
+	r, err := rig.m.Register(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.ords[r] = len(rig.regions)
+	rig.regions = append(rig.regions, r)
+}
+
+// step applies one scripted operation and returns its time result (NaN
+// for untimed operations) plus a label for failure messages.
+func (rig *diffRig) step(rng *rand.Rand, now float64) (float64, string) {
+	r := rig.regions[rng.Intn(len(rig.regions))]
+	switch op := rng.Intn(6); op {
+	case 0:
+		idx := rng.Intn(r.NumChunks())
+		return rig.m.DemandChunk(r, idx, now, 0.5+0.5*rng.Float64(), rng.Intn(2) == 0),
+			fmt.Sprintf("demand r%d[%d]", rig.ords[r], idx)
+	case 1:
+		return rig.m.PrefetchRegion(r, now), fmt.Sprintf("prefetch r%d", rig.ords[r])
+	case 2:
+		rig.m.MarkDeviceWritten(r, now)
+		return math.NaN(), fmt.Sprintf("write r%d", rig.ords[r])
+	case 3:
+		off := int64(rng.Intn(int(r.Size)))
+		n := int64(1 + rng.Intn(4<<20))
+		rig.m.MarkDirty(r, off, n)
+		return math.NaN(), fmt.Sprintf("dirty r%d %d+%d", rig.ords[r], off, n)
+	case 4:
+		max := int64(1+rng.Intn(8)) << 20
+		return rig.m.WritebackPartial(r, now, max), fmt.Sprintf("writeback r%d max %d", rig.ords[r], max)
+	default:
+		return rig.m.WritebackDirty(r, now), fmt.Sprintf("flush r%d", rig.ords[r])
+	}
+}
+
+// TestDifferentialEviction is the property test of the tentpole: for
+// random capacities, region mixes (including regions larger than the
+// whole device budget, the self-evicting oversubscription regime) and
+// operation scripts, the new and reference evictors must be
+// indistinguishable.
+func TestDifferentialEviction(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			capacity := int64(3+rng.Intn(10)) << 20
+			nRegions := 2 + rng.Intn(3)
+			sizes := make([]int64, nRegions)
+			for i := range sizes {
+				// Up to ~2x capacity so single regions oversubscribe.
+				sizes[i] = int64(1+rng.Intn(int(2*capacity>>20))) << 20
+				if rng.Intn(3) == 0 {
+					sizes[i] -= int64(rng.Intn(1 << 20)) // short tail chunk
+				}
+			}
+
+			fast := newDiffRig(capacity, false)
+			ref := newDiffRig(capacity, true)
+			for _, s := range sizes {
+				fast.register(t, s)
+				ref.register(t, s)
+			}
+
+			// Both rigs replay the same script: clone the op stream by
+			// running two identical RNGs in lockstep.
+			opsA := rand.New(rand.NewSource(seed + 1000))
+			opsB := rand.New(rand.NewSource(seed + 1000))
+			now := 0.0
+			for step := 0; step < 300; step++ {
+				gotA, label := fast.step(opsA, now)
+				gotB, _ := ref.step(opsB, now)
+				if gotA != gotB && !(math.IsNaN(gotA) && math.IsNaN(gotB)) {
+					t.Fatalf("step %d (%s): time %v (lru) != %v (scan)", step, label, gotA, gotB)
+				}
+				if !math.IsNaN(gotA) && gotA > now {
+					now = gotA
+				}
+				// Occasionally recycle a region mid-run.
+				if step%97 == 96 {
+					i := opsA.Intn(len(fast.regions))
+					_ = opsB.Intn(len(ref.regions))
+					recycle(t, fast, i)
+					recycle(t, ref, i)
+				}
+			}
+
+			compareRigs(t, fast, ref)
+
+			// Everything ends clean.
+			for i := range fast.regions {
+				recycle(t, fast, i)
+				recycle(t, ref, i)
+			}
+			if fast.m.ResidentBytes() != 0 || ref.m.ResidentBytes() != 0 {
+				t.Fatalf("resident bytes leaked: lru %d, scan %d",
+					fast.m.ResidentBytes(), ref.m.ResidentBytes())
+			}
+		})
+	}
+}
+
+// recycle unregisters region i and registers a same-size replacement in
+// its table slot.
+func recycle(t *testing.T, rig *diffRig, i int) {
+	t.Helper()
+	old := rig.regions[i]
+	if err := rig.m.Unregister(old); err != nil {
+		t.Fatal(err)
+	}
+	delete(rig.ords, old)
+	r, err := rig.m.Register(old.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.regions[i] = r
+	rig.ords[r] = i
+}
+
+// compareRigs asserts full observable-state equality between the two
+// evictors.
+func compareRigs(t *testing.T, fast, ref *diffRig) {
+	t.Helper()
+	if len(fast.evicts) != len(ref.evicts) {
+		t.Fatalf("eviction counts differ: %d (lru) vs %d (scan)", len(fast.evicts), len(ref.evicts))
+	}
+	for i := range fast.evicts {
+		if fast.evicts[i] != ref.evicts[i] {
+			t.Fatalf("eviction %d differs: %+v (lru) vs %+v (scan)", i, fast.evicts[i], ref.evicts[i])
+		}
+	}
+	if *fast.m.Stats != *ref.m.Stats {
+		t.Fatalf("stats differ:\nlru:  %+v\nscan: %+v", *fast.m.Stats, *ref.m.Stats)
+	}
+	if fast.m.ResidentBytes() != ref.m.ResidentBytes() {
+		t.Fatalf("resident bytes differ: %d vs %d", fast.m.ResidentBytes(), ref.m.ResidentBytes())
+	}
+	for i, fr := range fast.regions {
+		rr := ref.regions[i]
+		if fr.ResidentChunks() != rr.ResidentChunks() || fr.ResidentBytes() != rr.ResidentBytes() ||
+			fr.DirtyChunks() != rr.DirtyChunks() {
+			t.Fatalf("region %d summary differs: res %d/%d bytes %d/%d dirty %d/%d", i,
+				fr.ResidentChunks(), rr.ResidentChunks(), fr.ResidentBytes(), rr.ResidentBytes(),
+				fr.DirtyChunks(), rr.DirtyChunks())
+		}
+		for c := range fr.arrival {
+			if fr.arrival[c] != rr.arrival[c] && !(math.IsInf(fr.arrival[c], 1) && math.IsInf(rr.arrival[c], 1)) {
+				t.Fatalf("region %d chunk %d arrival differs: %v vs %v", i, c, fr.arrival[c], rr.arrival[c])
+			}
+			if fr.dirty[c] != rr.dirty[c] {
+				t.Fatalf("region %d chunk %d dirty differs", i, c)
+			}
+			if fr.lastUse[c] != rr.lastUse[c] {
+				t.Fatalf("region %d chunk %d stamp differs: %d vs %d", i, c, fr.lastUse[c], rr.lastUse[c])
+			}
+		}
+	}
+	evA, evB := fast.tr.Events(), ref.tr.Events()
+	if len(evA) != len(evB) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(evA), len(evB))
+	}
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("trace event %d differs:\nlru:  %+v\nscan: %+v", i, evA[i], evB[i])
+		}
+	}
+}
+
+// TestLRUMatchesStampOrder pins the structural invariant behind the O(1)
+// victim choice: the global ring is always sorted by last-use stamp.
+func TestLRUMatchesStampOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rig := newDiffRig(9<<20, false)
+	for _, s := range []int64{5 << 20, 7 << 20, 4<<20 - 777} {
+		rig.register(t, s)
+	}
+	now := 0.0
+	for step := 0; step < 500; step++ {
+		if got, _ := rig.step(rng, now); !math.IsNaN(got) && got > now {
+			now = got
+		}
+		last := int64(-1)
+		count := 0
+		for n := rig.m.lru.next; n != &rig.m.lru; n = n.next {
+			stamp := n.region.lastUse[n.idx]
+			if stamp <= last {
+				t.Fatalf("step %d: ring out of stamp order (%d after %d)", step, stamp, last)
+			}
+			if !n.region.Resident(int(n.idx)) {
+				t.Fatalf("step %d: non-resident chunk on the ring", step)
+			}
+			last = stamp
+			count++
+		}
+		total := 0
+		for _, r := range rig.regions {
+			total += r.ResidentChunks()
+		}
+		if count != total {
+			t.Fatalf("step %d: ring has %d nodes, regions count %d resident", step, count, total)
+		}
+	}
+}

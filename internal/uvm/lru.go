@@ -1,0 +1,114 @@
+package uvm
+
+import "math"
+
+// The eviction path used to select victims with a full scan over every
+// chunk of every region — O(chunks) per evicted chunk, O(chunks²) for an
+// oversubscribed pass. The manager now keeps constant-time residency
+// bookkeeping instead:
+//
+//   - a global intrusive doubly-linked LRU ring threaded through every
+//     resident chunk, ordered by last-use stamp (the stamp clock is
+//     monotone and every residency transition is accompanied by a touch,
+//     so append-at-MRU keeps the ring sorted). Victim selection pops the
+//     ring's head; touch unlinks and re-appends at the tail.
+//   - a per-region resident ring through the same nodes, so Unregister
+//     releases a region in O(resident chunks) instead of O(chunks).
+//   - per-region resident counters (count and bytes), making
+//     ResidentChunks and aggregate capacity checks O(1).
+//
+// The reference scan selector is retained in refscan.go; the
+// differential test pins the two implementations to identical victim
+// order, timing and stats.
+
+// chunkNode is the intrusive list node of one migration granule. A chunk
+// is linked into both rings exactly while it is device-resident
+// (prev/next and rprev/rnext are nil otherwise).
+type chunkNode struct {
+	region *Region
+	idx    int32
+
+	prev, next   *chunkNode // global LRU ring, oldest stamp first
+	rprev, rnext *chunkNode // region resident ring, arbitrary order
+}
+
+// initLRU makes the manager's global ring empty.
+func (m *Manager) initLRU() {
+	m.lru.prev = &m.lru
+	m.lru.next = &m.lru
+}
+
+// initNodes builds the region's node array and empties its resident ring.
+func (r *Region) initNodes() {
+	r.nodes = make([]chunkNode, len(r.arrival))
+	for i := range r.nodes {
+		r.nodes[i].region = r
+		r.nodes[i].idx = int32(i)
+	}
+	r.res.rprev = &r.res
+	r.res.rnext = &r.res
+}
+
+// hold makes chunk idx device-resident with the given availability time:
+// it links the chunk at the MRU end of the global ring, into the region
+// ring, and updates the resident counters. The caller has touched (or is
+// about to touch) the chunk, so MRU placement matches its stamp.
+func (m *Manager) hold(r *Region, idx int, arrival float64, size int64) {
+	r.arrival[idx] = arrival
+	n := &r.nodes[idx]
+	n.prev = m.lru.prev
+	n.next = &m.lru
+	n.prev.next = n
+	m.lru.prev = n
+	n.rprev = r.res.rprev
+	n.rnext = &r.res
+	n.rprev.rnext = n
+	r.res.rprev = n
+	r.residentCount++
+	r.residentBytes += size
+	m.resident += size
+}
+
+// release drops chunk idx's residency: unlink from both rings, clear the
+// arrival, and update the counters.
+func (m *Manager) release(r *Region, idx int, size int64) {
+	r.arrival[idx] = math.Inf(1)
+	n := &r.nodes[idx]
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+	n.rprev.rnext = n.rnext
+	n.rnext.rprev = n.rprev
+	n.rprev, n.rnext = nil, nil
+	r.residentCount--
+	r.residentBytes -= size
+	m.resident -= size
+}
+
+// touch stamps chunk idx as recently used and, if it is resident, moves
+// it to the MRU end of the global ring.
+func (m *Manager) touch(r *Region, idx int) {
+	m.stamp++
+	r.lastUse[idx] = m.stamp
+	if n := &r.nodes[idx]; n.next != nil && n.next != &m.lru {
+		n.prev.next = n.next
+		n.next.prev = n.prev
+		n.prev = m.lru.prev
+		n.next = &m.lru
+		n.prev.next = n
+		m.lru.prev = n
+	}
+}
+
+// victim returns the least-recently-used resident chunk, or (nil, -1)
+// when nothing is resident. O(1) on the LRU ring; the reference scan
+// selector is used instead when the manager is in reference mode.
+func (m *Manager) victim() (*Region, int) {
+	if m.scanEvict {
+		return m.victimScan()
+	}
+	if n := m.lru.next; n != &m.lru {
+		return n.region, int(n.idx)
+	}
+	return nil, -1
+}

@@ -9,6 +9,15 @@
 // Timing is expressed through reservations on the pcie.Bus links, so UVM
 // traffic naturally contends with (and overlaps) everything else on the
 // interconnect — the mechanism behind the U1 pipeline stage of Figure 1.
+//
+// Eviction bookkeeping is constant-time: an intrusive global LRU ring
+// plus per-region resident counters (see lru.go) replace the full
+// residency scan the evictor used to pay per victim, and an ascending
+// dirty-index queue (dirty.go) lets the writeback paths visit only dirty
+// chunks. The pre-optimization scan evictor is retained as a reference
+// implementation (refscan.go) and pinned equivalent by a differential
+// test. All timing is bit-for-bit identical to the scan era: same victim
+// order, same writeback reservations, same stats, same trace instants.
 package uvm
 
 import (
@@ -53,6 +62,15 @@ type Region struct {
 	arrival []float64 // per-chunk availability time; +Inf = not resident
 	lastUse []int64   // LRU stamps
 	dirty   []bool    // chunk written by the device since last writeback
+
+	// Indexed bookkeeping (see lru.go and dirty.go).
+	nodes         []chunkNode // intrusive list nodes, one per chunk
+	res           chunkNode   // sentinel of the region resident ring
+	residentCount int
+	residentBytes int64
+	dirtyCount    int
+	dirtyQ        []int32 // ascending dirty chunk indices (may hold tombstones)
+	queued        []bool  // queue membership, one per chunk
 }
 
 // NumChunks returns the number of migration granules in the region.
@@ -62,16 +80,15 @@ func (r *Region) NumChunks() int { return len(r.arrival) }
 // scheduled arrival).
 func (r *Region) Resident(idx int) bool { return !math.IsInf(r.arrival[idx], 1) }
 
-// ResidentChunks counts chunks with device residency.
-func (r *Region) ResidentChunks() int {
-	n := 0
-	for i := range r.arrival {
-		if r.Resident(i) {
-			n++
-		}
-	}
-	return n
-}
+// ResidentChunks counts chunks with device residency. O(1).
+func (r *Region) ResidentChunks() int { return r.residentCount }
+
+// ResidentBytes returns the region's device-resident byte count. O(1).
+func (r *Region) ResidentBytes() int64 { return r.residentBytes }
+
+// DirtyChunks counts chunks written by the device since their last
+// writeback. O(1).
+func (r *Region) DirtyChunks() int { return r.dirtyCount }
 
 // Manager is the UVM driver state for one device.
 type Manager struct {
@@ -83,6 +100,13 @@ type Manager struct {
 	nextID   int64
 	resident int64 // managed bytes currently on-device
 	stamp    int64 // LRU clock
+
+	lru       chunkNode // sentinel of the global LRU ring (next = oldest)
+	scanEvict bool      // select victims with the reference scan instead
+	// onEvict, when non-nil, observes every eviction (region, chunk,
+	// eviction-complete time). Differential tests use it to record and
+	// compare victim order between the two evictors.
+	onEvict func(r *Region, idx int, ready float64)
 
 	Stats *counters.UVMStats
 }
@@ -96,13 +120,15 @@ func NewManager(cfg Config, bus *pcie.Bus, capacity int64, stats *counters.UVMSt
 	if stats == nil {
 		stats = &counters.UVMStats{}
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		bus:      bus,
 		capacity: capacity,
 		regions:  make(map[int64]*Region),
 		Stats:    stats,
 	}
+	m.initLRU()
+	return m
 }
 
 // Config returns the manager configuration.
@@ -123,26 +149,38 @@ func (m *Manager) Register(size int64) (*Region, error) {
 		arrival: make([]float64, n),
 		lastUse: make([]int64, n),
 		dirty:   make([]bool, n),
+		queued:  make([]bool, n),
 	}
 	for i := range r.arrival {
 		r.arrival[i] = math.Inf(1)
 	}
+	r.initNodes()
 	m.nextID++
 	r.id = m.nextID
 	m.regions[r.id] = r
 	return r, nil
 }
 
-// Unregister drops the region, releasing its device residency.
+// Unregister drops the region, releasing its device residency. It walks
+// only the region's resident chunks (via the region ring), not every
+// chunk.
 func (m *Manager) Unregister(r *Region) error {
 	if _, ok := m.regions[r.id]; !ok {
 		return fmt.Errorf("uvm: unregister of unknown region %d", r.id)
 	}
-	for i := range r.arrival {
-		if r.Resident(i) {
-			m.resident -= m.chunkSize(r, i)
-		}
+	for n := r.res.rnext; n != &r.res; {
+		next := n.rnext
+		r.arrival[n.idx] = math.Inf(1)
+		n.prev.next = n.next
+		n.next.prev = n.prev
+		n.prev, n.next, n.rprev, n.rnext = nil, nil, nil, nil
+		n = next
 	}
+	r.res.rnext = &r.res
+	r.res.rprev = &r.res
+	m.resident -= r.residentBytes
+	r.residentBytes = 0
+	r.residentCount = 0
 	delete(m.regions, r.id)
 	return nil
 }
@@ -158,30 +196,15 @@ func (m *Manager) chunkSize(r *Region, idx int) int64 {
 	return m.cfg.ChunkBytes
 }
 
-// touch stamps chunk idx as recently used.
-func (m *Manager) touch(r *Region, idx int) {
-	m.stamp++
-	r.lastUse[idx] = m.stamp
-}
-
 // makeRoom evicts least-recently-used resident chunks until need bytes
 // fit. Dirty victims are written back over PCIe at time t; eviction
 // completion can push the effective availability time forward, which the
-// caller receives.
+// caller receives. Victim selection is O(1) per eviction (ring head) and
+// the whole call is O(1) when the need already fits.
 func (m *Manager) makeRoom(t float64, need int64) float64 {
 	ready := t
 	for m.resident+need > m.capacity {
-		var victim *Region
-		vIdx := -1
-		var oldest int64 = math.MaxInt64
-		for _, reg := range m.regions {
-			for i := range reg.arrival {
-				if reg.Resident(i) && reg.lastUse[i] < oldest {
-					oldest = reg.lastUse[i]
-					victim, vIdx = reg, i
-				}
-			}
-		}
+		victim, vIdx := m.victim()
 		if victim == nil {
 			panic(fmt.Sprintf("uvm: cannot evict to fit %d bytes in capacity %d", need, m.capacity))
 		}
@@ -190,14 +213,17 @@ func (m *Manager) makeRoom(t float64, need int64) float64 {
 			end := m.bus.Writeback(ready, size)
 			m.Stats.WritebackBytes += float64(size)
 			ready = end
-			victim.dirty[vIdx] = false
+			victim.clearDirtyOnEvict(vIdx)
 		}
-		victim.arrival[vIdx] = math.Inf(1)
-		m.resident -= size
+		m.release(victim, vIdx, size)
 		m.Stats.EvictedBytes += float64(size)
+		m.Stats.Evictions++
 		if tr := m.bus.Tracer(); tr != nil {
 			tr.Instant(trace.UVMFaults, "evict", ready, trace.ChunkArgs(vIdx, size))
 			tr.Count("uvm.evicted_bytes", float64(size))
+		}
+		if m.onEvict != nil {
+			m.onEvict(victim, vIdx, ready)
 		}
 	}
 	return ready
@@ -253,8 +279,7 @@ func (m *Manager) DemandChunk(r *Region, idx int, t float64, patternEff float64,
 		tr.Count("uvm.migrated_bytes", float64(size))
 	}
 	end := m.bus.MigrateOnDemand(ready+latency, size, patternEff)
-	r.arrival[idx] = end
-	m.resident += size
+	m.hold(r, idx, end, size)
 	return end
 }
 
@@ -262,18 +287,28 @@ func (m *Manager) DemandChunk(r *Region, idx int, t float64, patternEff float64,
 // t, streaming non-resident chunks over the H2D link in order. It returns
 // the time the prefetch stream drains. Already-resident chunks cost only
 // driver bookkeeping time (page-table walks, no link traffic).
+//
+// Room for the whole prefetch is checked once against the aggregate
+// non-resident byte count: when the stream fits, the per-chunk
+// room-making calls are skipped entirely. Under capacity pressure the
+// driver keeps evicting per chunk as the stream advances, because victim
+// writebacks and evict instants are defined to happen at stream time —
+// an oversubscribed prefetch evicts its own earliest chunks mid-stream.
 func (m *Manager) PrefetchRegion(r *Region, t float64) float64 {
 	end := t + m.cfg.PrefetchCallNs
+	evicting := m.resident+r.Size-r.residentBytes > m.capacity
 	for i := 0; i < r.NumChunks(); i++ {
 		size := m.chunkSize(r, i)
 		if r.Resident(i) {
 			end += float64(size) / float64(1<<30) * m.cfg.ResidentPrefetchNsPerGB
 			continue
 		}
-		ready := m.makeRoom(end, size)
+		ready := end
+		if evicting {
+			ready = m.makeRoom(end, size)
+		}
 		end = m.bus.PrefetchChunk(ready, size)
-		r.arrival[i] = end
-		m.resident += size
+		m.hold(r, i, end, size)
 		m.Stats.PrefetchBytes += float64(size)
 		m.touch(r, i)
 	}
@@ -284,15 +319,36 @@ func (m *Manager) PrefetchRegion(r *Region, t float64) float64 {
 // of time t without any transfer: a device-side write to a non-resident
 // managed page allocates it on the device (first touch), it does not
 // migrate stale host data.
+//
+// The capacity check happens once for the aggregate need: the common
+// case (everything fits) links all non-resident chunks without a single
+// room-making call. Only when the aggregate need oversubscribes the
+// device does the driver fall back to allocate-and-evict per chunk —
+// there the interleaving is observable (a written region larger than
+// device memory evicts its own earliest chunks as later ones allocate),
+// so it is preserved exactly.
 func (m *Manager) MarkDeviceWritten(r *Region, t float64) {
+	need := r.Size - r.residentBytes
+	if need == 0 {
+		return
+	}
+	if m.resident+need > m.capacity {
+		for i := range r.arrival {
+			if r.Resident(i) {
+				continue
+			}
+			size := m.chunkSize(r, i)
+			m.makeRoom(t, size)
+			m.hold(r, i, t, size)
+			m.touch(r, i)
+		}
+		return
+	}
 	for i := range r.arrival {
 		if r.Resident(i) {
 			continue
 		}
-		size := m.chunkSize(r, i)
-		m.makeRoom(t, size)
-		r.arrival[i] = t
-		m.resident += size
+		m.hold(r, i, t, m.chunkSize(r, i))
 		m.touch(r, i)
 	}
 }
@@ -304,9 +360,13 @@ func (m *Manager) MarkDirty(r *Region, off, n int64) {
 	}
 	first := off / m.cfg.ChunkBytes
 	last := (off + n - 1) / m.cfg.ChunkBytes
-	for i := first; i <= last && int(i) < r.NumChunks(); i++ {
-		r.dirty[i] = true
+	if max := int64(r.NumChunks() - 1); last > max {
+		last = max
 	}
+	if first > last {
+		return
+	}
+	r.markDirtyRange(int(first), int(last))
 }
 
 // WritebackDirty migrates the region's dirty chunks back to the host
@@ -322,18 +382,38 @@ func (m *Manager) WritebackDirty(r *Region, t float64) float64 {
 // models a CPU consumer that touches only part of the result (checksums,
 // sampled verification) — with UVM, untouched dirty pages never cross
 // the bus, one of the paper's measured transfer savings.
+//
+// Iteration walks the region's dirty-index queue in ascending chunk
+// order — only dirty chunks, not the whole region — dropping tombstones
+// of chunks whose dirty state was cleared by eviction along the way.
 func (m *Manager) WritebackPartial(r *Region, t float64, maxBytes int64) float64 {
 	end := t
+	if r.dirtyCount == 0 {
+		return end
+	}
 	var moved int64
-	for i := 0; i < r.NumChunks() && moved < maxBytes; i++ {
+	q := r.dirtyQ
+	k := 0
+	for ; k < len(q); k++ {
+		i := int(q[k])
 		if !r.dirty[i] {
+			r.queued[i] = false
 			continue
+		}
+		if moved >= maxBytes {
+			break
 		}
 		size := m.chunkSize(r, i)
 		end = m.bus.Writeback(end, size)
 		m.Stats.WritebackBytes += float64(size)
 		r.dirty[i] = false
+		r.dirtyCount--
+		r.queued[i] = false
 		moved += size
+	}
+	if k > 0 {
+		n := copy(q, q[k:])
+		r.dirtyQ = q[:n]
 	}
 	return end
 }

@@ -240,6 +240,41 @@ func TestQuickResidencyInvariants(t *testing.T) {
 			if sum != m.ResidentBytes() {
 				t.Fatalf("resident accounting drift: per-chunk %d vs counter %d", sum, m.ResidentBytes())
 			}
+			// The indexed bookkeeping must agree with the per-chunk truth
+			// arrays it summarizes.
+			for ri, reg := range regions {
+				chunks, bytes, dirty := 0, int64(0), 0
+				for i := 0; i < reg.NumChunks(); i++ {
+					if reg.Resident(i) {
+						chunks++
+						bytes += m.chunkSize(reg, i)
+					}
+					if reg.dirty[i] {
+						dirty++
+					}
+				}
+				if chunks != reg.ResidentChunks() || bytes != reg.ResidentBytes() || dirty != reg.DirtyChunks() {
+					t.Fatalf("region %d index drift: chunks %d/%d bytes %d/%d dirty %d/%d",
+						ri, chunks, reg.ResidentChunks(), bytes, reg.ResidentBytes(), dirty, reg.DirtyChunks())
+				}
+				// Every queued index is in range and flagged; every dirty
+				// chunk is somewhere in the queue.
+				queued := make(map[int32]bool, len(reg.dirtyQ))
+				for _, idx := range reg.dirtyQ {
+					if !reg.queued[idx] {
+						t.Fatalf("region %d: queue entry %d not flagged as queued", ri, idx)
+					}
+					if queued[idx] {
+						t.Fatalf("region %d: duplicate queue entry %d", ri, idx)
+					}
+					queued[idx] = true
+				}
+				for i := 0; i < reg.NumChunks(); i++ {
+					if reg.dirty[i] && !queued[int32(i)] {
+						t.Fatalf("region %d: dirty chunk %d missing from queue", ri, i)
+					}
+				}
+			}
 		}
 		for _, r := range regions {
 			if err := m.Unregister(r); err != nil {
