@@ -17,14 +17,19 @@
 //	uvmbench micro|apps        §4.1 geomean summaries
 //	uvmbench trace             record a Perfetto-loadable run timeline
 //	uvmbench list              workload inventory
+//	uvmbench profiles          hardware-profile inventory (list|show|dump)
+//	uvmbench compare-profiles  one workload across hardware profiles
 //	uvmbench all               everything above
 //
 // Flags (before the subcommand): -i iterations (default 30), -seed,
 // -size (overrides the default class where applicable), -par executor
 // workers (0 = all cores, 1 = serial; output is byte-identical at any
 // setting), -json (emit figure data as a JSON document instead of the
-// text table), -workload and -setup (select the traced run; an empty
-// -setup traces all five), -out (directory for trace files).
+// text table), -profile (hardware profile: a built-in name or a profile
+// JSON file; every experiment runs on that machine), -profiles (the
+// comma-separated machines compare-profiles sweeps), -workload and
+// -setup (select the traced/compared run; an empty -setup traces all
+// five), -out (directory for trace files).
 //
 // The trace subcommand writes one Chrome trace-event file per setup,
 // named trace_<workload>_<setup>.json, loadable in Perfetto or
@@ -43,6 +48,8 @@ import (
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/nearest"
+	"uvmasim/internal/profile"
 	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
 )
@@ -63,6 +70,8 @@ type options struct {
 	workload  string
 	setupName string
 	outDir    string
+	profiles  string   // -profiles list for compare-profiles
+	rest      []string // arguments after the subcommand (profiles show/dump)
 }
 
 // emit prints either the text rendering or the JSON document, depending
@@ -94,12 +103,14 @@ func run(args []string) error {
 	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model")
 	par := fs.Int("par", 0, "experiment executor workers (0 = all cores, 1 = serial); output is identical at any value")
 	jsonOut := fs.Bool("json", false, "emit figure data as a JSON document instead of a text table")
-	workload := fs.String("workload", "gemm", "workload for the trace subcommand")
+	workload := fs.String("workload", "gemm", "workload for the trace and compare-profiles subcommands")
 	setupName := fs.String("setup", "", "setup for the trace subcommand (empty = all five)")
 	outDir := fs.String("out", ".", "directory for trace output files")
+	prof := fs.String("profile", profile.DefaultName, "hardware profile: a built-in name (see 'uvmbench profiles') or a profile JSON file")
+	profs := fs.String("profiles", "", "comma-separated profiles for compare-profiles (empty = all built-ins)")
 	usage := func(w io.Writer) {
 		fmt.Fprintln(w, "usage: uvmbench [flags] <subcommand>[,<subcommand>...]")
-		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list all")
+		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles all")
 		fmt.Fprintln(w, "flags:")
 		fs.SetOutput(w)
 		fs.PrintDefaults()
@@ -124,7 +135,11 @@ func run(args []string) error {
 		return fmt.Errorf("-par must be >= 0, got %d", *par)
 	}
 
-	r := core.NewRunner()
+	p, err := profile.Resolve(*prof)
+	if err != nil {
+		return err
+	}
+	r := core.NewRunnerFor(p)
 	r.Iterations = *iters
 	r.BaseSeed = *seed
 	r.Parallelism = *par
@@ -135,6 +150,8 @@ func run(args []string) error {
 		workload:  *workload,
 		setupName: *setupName,
 		outDir:    *outDir,
+		profiles:  *profs,
+		rest:      fs.Args()[1:],
 	}
 	o.sizeOr = func(def workloads.Size) (workloads.Size, error) {
 		if *sizeName == "" {
@@ -171,7 +188,7 @@ func flagError(fs *flag.FlagSet, err error) error {
 			}
 			return
 		}
-		if d := editDistance(name, f.Name); d < bestDist {
+		if d := nearest.Distance(name, f.Name); d < bestDist {
 			best, bestDist = f.Name, d
 		}
 	})
@@ -179,37 +196,6 @@ func flagError(fs *flag.FlagSet, err error) error {
 		return fmt.Errorf("unknown flag -%s (did you mean -%s?)", name, best)
 	}
 	return fmt.Errorf("unknown flag -%s (run 'uvmbench -h' for the flag list)", name)
-}
-
-// editDistance is the Levenshtein distance between a and b.
-func editDistance(a, b string) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
 }
 
 func dispatch(r *core.Runner, cmd string, o *options) error {
@@ -229,7 +215,14 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		return o.emit(core.RenderTable3(), core.Table3Doc())
 
 	case "fig4", "fig5":
-		sizes := workloads.AllSizes
+		sizes := feasibleSizes(r.Config)
+		if len(sizes) == 0 {
+			return fmt.Errorf("%s: no size class fits the active profile's memory", cmd)
+		}
+		if !o.json && len(sizes) < len(workloads.AllSizes) {
+			fmt.Printf("note: %d of %d size classes fit this profile's memory; larger classes dropped\n",
+				len(sizes), len(workloads.AllSizes))
+		}
 		study, err := r.Distributions(workloads.Micro(), sizes)
 		if err != nil {
 			return err
@@ -240,11 +233,37 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		return o.emit(study.RenderFig5(), study.Fig5Doc())
 
 	case "fig6":
+		// Figure 6 is defined at the mega class (32 GB): on machines whose
+		// memory cannot host it, report the skip instead of failing `all`.
+		if !r.Config.FitsFootprint(workloads.Mega.Footprint()) {
+			note := "fig6 skipped: the mega class (32 GB) does not fit the active profile's memory\n"
+			return o.emit(note, core.FigureDoc{Figure: "fig6", Data: struct {
+				Skipped string `json:"skipped"`
+			}{"mega footprint exceeds profile memory"}})
+		}
 		f, err := r.Fig6()
 		if err != nil {
 			return err
 		}
 		return o.emit(f.Render(), f.Doc())
+
+	case "profiles":
+		return runProfiles(o)
+
+	case "compare-profiles":
+		size, err := o.sizeOr(workloads.Large)
+		if err != nil {
+			return err
+		}
+		ps, err := resolveProfiles(o.profiles)
+		if err != nil {
+			return err
+		}
+		study, err := r.CompareProfiles(ps, o.workload, size)
+		if err != nil {
+			return err
+		}
+		return o.emit(study.Render(), study.Doc())
 
 	case "fig7":
 		var text strings.Builder
@@ -380,6 +399,78 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		return nil
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// feasibleSizes filters the paper's size classes to those the active
+// profile's device and host memory can host under every setup. On the
+// default A100-40GB profile this is all six classes.
+func feasibleSizes(cfg cuda.SystemConfig) []workloads.Size {
+	var out []workloads.Size
+	for _, s := range workloads.AllSizes {
+		if cfg.FitsFootprint(s.Footprint()) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runProfiles implements the profiles subcommand. With no argument (or
+// `list`) it prints the built-in machine inventory; `show <name|file>`
+// prints one profile's summary; `dump <name|file>` writes the complete
+// JSON definition to stdout, which is itself a valid -profile file.
+func runProfiles(o *options) error {
+	if len(o.rest) == 0 || o.rest[0] == "list" {
+		for _, p := range profile.Builtins() {
+			def := ""
+			if p.Name == profile.DefaultName {
+				def = " (default)"
+			}
+			fmt.Printf("%-18s %s  %s%s\n", p.Name, p.Fingerprint(), p.Description, def)
+		}
+		return nil
+	}
+	verb := o.rest[0]
+	switch verb {
+	case "show", "dump":
+		if len(o.rest) != 2 {
+			return fmt.Errorf("usage: uvmbench profiles %s <name|file.json>", verb)
+		}
+		p, err := profile.Resolve(o.rest[1])
+		if err != nil {
+			return err
+		}
+		if verb == "show" {
+			fmt.Print(p.Describe())
+			return nil
+		}
+		return profile.Save(os.Stdout, p)
+	}
+	return fmt.Errorf("unknown profiles verb %q (expected list, show or dump)%s",
+		verb, nearest.Hint(verb, []string{"list", "show", "dump"}, 2))
+}
+
+// resolveProfiles parses the -profiles list into validated profiles; an
+// empty list means every built-in machine.
+func resolveProfiles(list string) ([]profile.Profile, error) {
+	if strings.TrimSpace(list) == "" {
+		return profile.Builtins(), nil
+	}
+	var ps []profile.Profile
+	for _, arg := range strings.Split(list, ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		p, err := profile.Resolve(arg)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("-profiles names no profiles")
+	}
+	return ps, nil
 }
 
 // runTrace records one timeline per requested setup and writes each as

@@ -10,7 +10,7 @@
 //
 // Run with:
 //
-//	go run ./examples/advisor [-workload lud] [-size super]
+//	go run ./examples/advisor [-workload lud] [-size super] [-profile a100-80g-sxm]
 package main
 
 import (
@@ -20,13 +20,19 @@ import (
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
 	"uvmasim/internal/workloads"
 )
 
 func main() {
 	name := flag.String("workload", "lud", "workload to advise on")
 	sizeName := flag.String("size", "super", "input class")
+	profName := flag.String("profile", profile.DefaultName, "hardware profile (built-in name or JSON file)")
 	flag.Parse()
+	p, err := profile.Resolve(*profName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
@@ -37,7 +43,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r := core.NewRunner()
+	r := core.NewRunnerFor(p)
 	r.Iterations = 5
 	study, err := r.BreakdownComparison([]workloads.Workload{w}, size)
 	if err != nil {

@@ -6,7 +6,7 @@
 //
 // Run with:
 //
-//	go run ./examples/multijob [-jobs 8] [-workload vector_seq]
+//	go run ./examples/multijob [-jobs 8] [-workload vector_seq] [-profile grace-hopper-c2c]
 package main
 
 import (
@@ -16,18 +16,24 @@ import (
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
 	"uvmasim/internal/workloads"
 )
 
 func main() {
 	jobs := flag.Int("jobs", 8, "jobs in the batch")
 	name := flag.String("workload", "vector_seq", "workload per job")
+	profName := flag.String("profile", profile.DefaultName, "hardware profile (built-in name or JSON file)")
 	flag.Parse()
+	p, err := profile.Resolve(*profName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	r := core.NewRunner()
+	r := core.NewRunnerFor(p)
 	r.Iterations = 5
 
-	fmt.Printf("inter-job pipeline model: %d x %s (Super input)\n\n", *jobs, *name)
+	fmt.Printf("inter-job pipeline model: %d x %s (Super input) on %s\n\n", *jobs, *name, p.Name)
 	fmt.Printf("%-20s %12s %12s %12s %12s\n",
 		"setup", "serial ms", "pipelined ms", "improvement", "alloc share")
 	for _, setup := range cuda.AllSetups {

@@ -5,25 +5,34 @@
 //
 // Run with:
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-profile v100-16g-pcie3]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/gpu"
 	"uvmasim/internal/kernels"
+	"uvmasim/internal/profile"
 )
 
 func main() {
+	profName := flag.String("profile", profile.DefaultName, "hardware profile (built-in name or JSON file)")
+	flag.Parse()
+	p, err := profile.Resolve(*profName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	const n = 64 << 20 // 256 MB of float32
-	fmt.Println("saxpy over", n, "elements on the simulated A100 system")
+	fmt.Printf("saxpy over %d elements on the simulated %s system\n", int64(n), p.Name)
 	fmt.Printf("%-20s %10s %10s %10s %12s\n", "setup", "alloc ms", "memcpy ms", "kernel ms", "total ms")
 
 	for _, setup := range cuda.AllSetups {
-		b, err := runSaxpy(setup, n)
+		b, err := runSaxpy(p.Config, setup, n)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -34,8 +43,8 @@ func main() {
 	fmt.Println("async staging trims the kernel's staging overhead (Takeaway 2).")
 }
 
-func runSaxpy(setup cuda.Setup, n int64) (cuda.Breakdown, error) {
-	ctx := cuda.NewContext(cuda.DefaultSystemConfig(), setup, 42)
+func runSaxpy(cfg cuda.SystemConfig, setup cuda.Setup, n int64) (cuda.Breakdown, error) {
+	ctx := cuda.NewContext(cfg, setup, 42)
 
 	// cudaMalloc or cudaMallocManaged, depending on the setup — the
 	// code is identical either way, as in the paper's Figure 2.

@@ -6,7 +6,7 @@
 //
 // Run with:
 //
-//	go run ./examples/tuner [-setup uvm_prefetch_async]
+//	go run ./examples/tuner [-setup uvm_prefetch_async] [-profile v100-16g-pcie3]
 package main
 
 import (
@@ -16,19 +16,25 @@ import (
 	"math"
 
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
 	"uvmasim/internal/workloads"
 )
 
 func main() {
 	setupName := flag.String("setup", "uvm_prefetch_async", "data-transfer setup to tune for")
+	profName := flag.String("profile", profile.DefaultName, "hardware profile (built-in name or JSON file)")
 	flag.Parse()
 	setup, err := cuda.ParseSetup(*setupName)
 	if err != nil {
 		log.Fatal(err)
 	}
+	p, err := profile.Resolve(*profName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	measure := func(opt workloads.SensitivityOptions, seed int64) float64 {
-		ctx := cuda.NewContext(cuda.DefaultSystemConfig(), setup, seed)
+		ctx := cuda.NewContext(p.Config, setup, seed)
 		if err := workloads.RunVectorSeqSensitivity(ctx, workloads.Large, opt); err != nil {
 			log.Fatal(err)
 		}
@@ -36,7 +42,7 @@ func main() {
 		return b.Total - b.Overhead
 	}
 
-	fmt.Printf("tuning vector_seq (Large) under %s\n\n", setup)
+	fmt.Printf("tuning vector_seq (Large) under %s on %s\n\n", setup, p.Name)
 
 	// Takeaway 4: block count barely matters, threads per block matter.
 	fmt.Println("threads-per-block sweep (64 blocks):")

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
 	"uvmasim/internal/workloads"
 )
 
@@ -129,14 +130,18 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 // cellKey identifies one unique measurement cell across figures. Two
 // cells with equal keys produce bit-identical Results (the simulation is
 // a pure function of the key), which is what makes the cache safe for
-// byte-identical rendering.
+// byte-identical rendering. The system model enters the key as its
+// profile fingerprint — a digest of every SystemConfig field — so cells
+// measured under different hardware profiles can never collide, even
+// when one Runner (or the cross-profile study) runs several machines
+// against the same shared cache.
 type cellKey struct {
 	kind  string // workload name, or a sweep cell id including the swept parameter
 	setup cuda.Setup
 	size  workloads.Size
 	iters int
 	seed  int64
-	cfg   cuda.SystemConfig
+	fp    string // profile.Fingerprint of the runner's SystemConfig
 }
 
 // cellEntry is a singleflight slot: the first goroutine to claim the key
@@ -198,7 +203,7 @@ func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, comp
 		size:  size,
 		iters: r.iters(),
 		seed:  r.BaseSeed,
-		cfg:   r.Config,
+		fp:    profile.Fingerprint(r.Config),
 	}
 	return r.cache.do(key, compute)
 }

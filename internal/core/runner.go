@@ -20,6 +20,7 @@ import (
 
 	"uvmasim/internal/counters"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
 	"uvmasim/internal/stats"
 	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
@@ -58,11 +59,19 @@ type Runner struct {
 	cache *cellCache
 }
 
-// NewRunner returns a Runner with the paper's defaults: parallel
-// execution across all cores and the cell cache enabled.
+// NewRunner returns a Runner with the paper's defaults: the default
+// hardware profile (the paper's A100-40GB testbed), parallel execution
+// across all cores and the cell cache enabled.
 func NewRunner() *Runner {
+	return NewRunnerFor(profile.Default())
+}
+
+// NewRunnerFor returns a Runner measuring on the given hardware
+// profile. Results from different profiles never collide in the cell
+// cache: every cache key carries the profile's fingerprint.
+func NewRunnerFor(p profile.Profile) *Runner {
 	return &Runner{
-		Config:     cuda.DefaultSystemConfig(),
+		Config:     p.Config,
 		Iterations: DefaultIterations,
 		BaseSeed:   1,
 		Cache:      true,

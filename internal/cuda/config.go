@@ -34,6 +34,22 @@ type SystemConfig struct {
 	HostConsumeFraction float64
 }
 
+// FitsFootprint reports whether a workload footprint can run under
+// every one of the five setups on this system: the explicit-copy setups
+// need the whole footprint resident in device memory at once (managed
+// setups may oversubscribe), and every setup stages the footprint in
+// host DRAM, of which the worst ambient draw leaves
+// (1-AmbientMax) x capacity free. The harness uses this to drop
+// size classes a smaller-memory profile cannot host — on the default
+// A100-40GB profile every paper size class fits.
+func (c SystemConfig) FitsFootprint(footprint int64) bool {
+	if footprint > c.GPU.HBMCapacity {
+		return false
+	}
+	hostFree := float64(c.Host.Chips) * float64(c.Host.ChipCapacity) * (1 - c.Host.AmbientMax)
+	return float64(footprint) <= hostFree
+}
+
 // DefaultSystemConfig models the paper's testbed: an A100-40GB attached
 // to a 16-chip EPYC host over PCIe 4.0 x16.
 func DefaultSystemConfig() SystemConfig {

@@ -9,6 +9,8 @@ package cuda
 import (
 	"encoding/json"
 	"fmt"
+
+	"uvmasim/internal/nearest"
 )
 
 // Setup is one of the paper's five architecture configurations (§3.1.3).
@@ -72,12 +74,14 @@ func (s *Setup) UnmarshalJSON(data []byte) error {
 
 // ParseSetup resolves a setup by its paper name.
 func ParseSetup(name string) (Setup, error) {
-	for _, s := range AllSetups {
+	names := make([]string, len(AllSetups))
+	for i, s := range AllSetups {
 		if s.String() == name {
 			return s, nil
 		}
+		names[i] = AllSetups[i].String()
 	}
-	return 0, fmt.Errorf("cuda: unknown setup %q", name)
+	return 0, fmt.Errorf("cuda: unknown setup %q%s", name, nearest.Hint(name, names, 3))
 }
 
 // Managed reports whether buffers allocate through cudaMallocManaged.

@@ -1,0 +1,58 @@
+package nearest
+
+import "testing"
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"gemm", "gemm", 0},
+		{"gemmm", "gemm", 1},
+		{"gmem", "gemm", 2},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	setups := []string{"standard", "async", "uvm", "uvm_prefetch", "uvm_prefetch_async"}
+	if got := Best("uvm_prefetcg", setups, 2); got != "uvm_prefetch" {
+		t.Errorf("Best = %q, want uvm_prefetch", got)
+	}
+	if got := Best("totally-unrelated", setups, 2); got != "" {
+		t.Errorf("far-off name should suggest nothing, got %q", got)
+	}
+	// Ties keep the earliest candidate.
+	if got := Best("b", []string{"a", "c"}, 2); got != "a" {
+		t.Errorf("tie should keep first candidate, got %q", got)
+	}
+	// A strict prefix qualifies even past the distance cutoff (truncated
+	// structured names like profile names), but never beats a real typo
+	// within the cutoff, and an empty name suggests nothing.
+	if got := Best("uvm_pre", setups, 2); got != "uvm_prefetch" {
+		t.Errorf("prefix should qualify, got %q", got)
+	}
+	if got := Best("asyn", []string{"async_long_name", "async"}, 2); got != "async" {
+		t.Errorf("close typo should beat a longer prefix match, got %q", got)
+	}
+	if got := Best("", setups, 2); got != "" {
+		t.Errorf("empty name should suggest nothing, got %q", got)
+	}
+}
+
+func TestHint(t *testing.T) {
+	if got := Hint("gemmm", []string{"gemm", "gemv"}, 2); got != ` (did you mean "gemm"?)` {
+		t.Errorf("Hint = %q", got)
+	}
+	if got := Hint("zzz", []string{"gemm"}, 2); got != "" {
+		t.Errorf("Hint for far-off name = %q, want empty", got)
+	}
+}

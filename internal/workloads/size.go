@@ -12,6 +12,8 @@ package workloads
 import (
 	"encoding/json"
 	"fmt"
+
+	"uvmasim/internal/nearest"
 )
 
 // Size is one of the six input-size classes of Table 3.
@@ -70,12 +72,14 @@ func (s *Size) UnmarshalJSON(data []byte) error {
 
 // ParseSize resolves a class by name.
 func ParseSize(name string) (Size, error) {
-	for _, s := range AllSizes {
+	names := make([]string, len(AllSizes))
+	for i, s := range AllSizes {
 		if s.String() == name {
 			return s, nil
 		}
+		names[i] = AllSizes[i].String()
 	}
-	return 0, fmt.Errorf("workloads: unknown size %q", name)
+	return 0, fmt.Errorf("workloads: unknown size %q%s", name, nearest.Hint(name, names, 2))
 }
 
 // Footprint returns the class's total memory footprint in bytes

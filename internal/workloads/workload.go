@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/nearest"
 )
 
 // Workload is one benchmark of Table 2.
@@ -42,7 +43,8 @@ func register(w Workload, micro bool) {
 func ByName(name string) (Workload, error) {
 	w, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+		return nil, fmt.Errorf("workloads: unknown workload %q%s",
+			name, nearest.Hint(name, Names(), 2))
 	}
 	return w, nil
 }
