@@ -245,6 +245,25 @@ func BenchmarkOversubscription(b *testing.B) {
 	b.ReportMetric(evicted/(1<<30), "GiB-evicted")
 }
 
+// BenchmarkFigureSuite regenerates the fig4 distribution grid plus the
+// fig7 Large breakdown on one serial worker with allocation accounting —
+// the end-to-end hot loop the GC-free refactor targets. Its ns/op and
+// allocs/op are the committed baseline in BENCH_suite.json; CI fails if
+// either regresses past its ratio gate (scripts/bench_suite.sh).
+func BenchmarkFigureSuite(b *testing.B) {
+	r := benchRunner()
+	r.Parallelism = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Distributions(workloads.Micro(), []workloads.Size{workloads.Large}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.BreakdownComparison(workloads.Micro(), workloads.Large); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchUVMEvictionMega churns a Mega-size (32 GB) managed region through
 // sequential demand faults against an 8 GB budget, so steady state evicts
 // on every fault — the driver-level hot loop behind the oversub sweep,

@@ -29,7 +29,8 @@
 // JSON file; every experiment runs on that machine), -profiles (the
 // comma-separated machines compare-profiles sweeps), -workload and
 // -setup (select the traced/compared run; an empty -setup traces all
-// five), -out (directory for trace files).
+// five), -out (directory for trace files), -cpuprofile and -memprofile
+// (write pprof profiles covering the whole invocation).
 //
 // The trace subcommand writes one Chrome trace-event file per setup,
 // named trace_<workload>_<setup>.json, loadable in Perfetto or
@@ -44,6 +45,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"uvmasim/internal/core"
@@ -108,6 +111,8 @@ func run(args []string) error {
 	outDir := fs.String("out", ".", "directory for trace output files")
 	prof := fs.String("profile", profile.DefaultName, "hardware profile: a built-in name (see 'uvmbench profiles') or a profile JSON file")
 	profs := fs.String("profiles", "", "comma-separated profiles for compare-profiles (empty = all built-ins)")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	usage := func(w io.Writer) {
 		fmt.Fprintln(w, "usage: uvmbench [flags] <subcommand>[,<subcommand>...]")
 		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles all")
@@ -160,13 +165,66 @@ func run(args []string) error {
 		return workloads.ParseSize(*sizeName)
 	}
 
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+
 	cmds := strings.Split(fs.Arg(0), ",")
 	for _, cmd := range cmds {
 		if err := dispatch(r, cmd, o); err != nil {
+			stopProfiles()
 			return err
 		}
 	}
-	return nil
+	return stopProfiles()
+}
+
+// startProfiles begins CPU profiling and/or arms a heap snapshot,
+// covering every subcommand of the invocation. The returned stop
+// function finishes both files; it is also called (ignoring its error)
+// on the failure path so a partial CPU profile is still flushed.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// Collect garbage first so the snapshot shows live retained
+			// memory (the arenas), not yet-unswept iteration garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 // flagError rewrites a flag.Parse error for single-line reporting. For

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPprofFlags runs a subcommand with -cpuprofile and -memprofile and
+// checks both files come out in pprof's file format (a proto decode
+// would drag in a dependency; the gzip header is the format's invariant
+// first two bytes, and an empty or text file fails it).
+func TestPprofFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"-i", "1", "-cpuprofile", cpu, "-memprofile", mem, "fig12"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s: not a gzipped pprof profile (got % x...)", path, data[:min(8, len(data))])
+		}
+	}
+}
+
+// TestPprofFlagErrors pins the failure modes: an unwritable profile path
+// fails up front, before any simulation runs.
+func TestPprofFlagErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")
+	if err := run([]string{"-i", "1", "-cpuprofile", bad, "fig12"}); err == nil {
+		t.Error("unwritable -cpuprofile path should error")
+	}
+}

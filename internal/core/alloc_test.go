@@ -1,0 +1,94 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/workloads"
+)
+
+// Alloc-ceiling regression tests for the GC-free hot loop: once a cell's
+// context has warmed up its arenas (node arena, region free list, Buffer
+// pool, host/device allocator storage, dirty queues, demand scratch), a
+// simulated iteration must not allocate at all. The assertions encode
+// that as iteration-count independence — the per-call allocation count
+// of measureCell is the same fixed constant (the Breakdowns slice and
+// its kin) at 2 and at 12 iterations — plus absolute ceilings on both
+// the steady-state constant and the one-time warm-up.
+
+const (
+	// steadyCeiling bounds measureCell's fixed per-call overhead (slices
+	// sized by iteration count are one allocation regardless of length).
+	steadyCeiling = 8
+	// warmCeiling bounds the first-ever cell of a fresh runner: context
+	// construction, arena growth to the workload's footprint, and the
+	// result slices. Measured ~1.1e4 for vector_seq/Large; the bound
+	// leaves headroom without letting an accidental per-chunk or
+	// per-iteration allocation (~1e5 and up) slip through.
+	warmCeiling = 40000
+)
+
+func allocTestRunner() *Runner {
+	r := NewRunner()
+	r.Parallelism = 1
+	r.Cache = false
+	return r
+}
+
+func TestMeasureCellSteadyStateAllocFree(t *testing.T) {
+	w, err := workloads.ByName("vector_seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, setup := range cuda.AllSetups {
+		setup := setup
+		t.Run(setup.String(), func(t *testing.T) {
+			r := allocTestRunner()
+			perCall := func(iters int) float64 {
+				r.Iterations = iters
+				return testing.AllocsPerRun(3, func() {
+					if _, err := r.measureCell(w, setup, workloads.Large); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			// Warm both iteration counts before comparing (AllocsPerRun
+			// itself runs one extra warm-up call).
+			perCall(12)
+			few := perCall(2)
+			many := perCall(12)
+			if few != many {
+				t.Errorf("allocations grow with iteration count: %.1f per call at 2 iters, %.1f at 12"+
+					" — the iteration loop is no longer alloc-free", few, many)
+			}
+			if many > steadyCeiling {
+				t.Errorf("steady-state measureCell allocates %.1f per call, ceiling %d", many, steadyCeiling)
+			}
+		})
+	}
+}
+
+func TestMeasureCellWarmupAllocCeiling(t *testing.T) {
+	w, err := workloads.ByName("vector_seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, setup := range cuda.AllSetups {
+		setup := setup
+		t.Run(setup.String(), func(t *testing.T) {
+			r := allocTestRunner()
+			r.Iterations = 2
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			if _, err := r.measureCell(w, setup, workloads.Large); err != nil {
+				t.Fatal(err)
+			}
+			runtime.ReadMemStats(&after)
+			warm := after.Mallocs - before.Mallocs
+			if warm > warmCeiling {
+				t.Errorf("cold-start measureCell allocated %d times, ceiling %d", warm, warmCeiling)
+			}
+		})
+	}
+}

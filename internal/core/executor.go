@@ -64,6 +64,36 @@ func (e *executor) acquire(par int) bool {
 
 func (e *executor) release() { e.tokens <- struct{}{} }
 
+// contextPool recycles warmed-up cuda.Contexts across measurement cells.
+// It is shared (by pointer) between a Runner and its copies, like the
+// executor and the cell cache, so every study on the same Runner family
+// draws from one set of contexts. Contexts are handed out exclusively
+// (a cell resets and uses one context for all its iterations) and parked
+// LIFO, which keeps the hottest arenas in use.
+type contextPool struct {
+	mu   sync.Mutex
+	free []*cuda.Context
+}
+
+// get pops a parked context, or returns nil when the pool is empty.
+func (p *contextPool) get() *cuda.Context {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		return c
+	}
+	return nil
+}
+
+// put parks a context for reuse.
+func (p *contextPool) put(c *cuda.Context) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, c)
+}
+
 // parallelism resolves the effective worker count: Parallelism if set,
 // otherwise GOMAXPROCS.
 func (r *Runner) parallelism() int {
@@ -76,10 +106,14 @@ func (r *Runner) parallelism() int {
 // forEach runs fn(0..n-1), fanning the calls across the worker pool.
 // Each fn(i) must write its result only to slot i of a caller-owned
 // destination, which keeps the merge deterministic regardless of
-// completion order. With an effective parallelism of 1 (or on a
-// zero-value Runner) it degrades to the legacy serial loop. The returned
-// error is the lowest-index failure, matching what the serial loop
-// would have reported.
+// completion order. The returned error is the lowest-index failure,
+// matching what the serial loop would have reported.
+//
+// The fan-out machinery (error slice, atomic cursor, goroutines) is paid
+// only after at least one spare worker token is actually acquired: with
+// an effective parallelism of 1, on a zero-value Runner, or in a nested
+// fan-out whose pool is already saturated, the loop runs inline on the
+// calling goroutine and allocates nothing.
 func (r *Runner) forEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -88,7 +122,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 	if par > n {
 		par = n
 	}
-	if par <= 1 || r.exec == nil {
+	if par <= 1 || r.exec == nil || !r.exec.acquire(r.parallelism()) {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
@@ -96,6 +130,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		}
 		return nil
 	}
+	// One token is held: the fan-out has at least one helper worker.
 	errs := make([]error, n)
 	var next atomic.Int64
 	next.Store(-1)
@@ -109,13 +144,17 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		}
 	}
 	var wg sync.WaitGroup
-	for w := 1; w < par && r.exec.acquire(r.parallelism()); w++ {
+	spawn := func() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer r.exec.release()
 			work()
 		}()
+	}
+	spawn()
+	for w := 2; w < par && r.exec.acquire(r.parallelism()); w++ {
+		spawn()
 	}
 	work()
 	wg.Wait()

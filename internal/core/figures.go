@@ -338,26 +338,30 @@ func (r *Runner) sweep(name, paramName string, size workloads.Size, params []flo
 }
 
 // sweepCell measures the repeated iterations of one sensitivity cell,
-// each from its own derived seed, in iteration order.
+// each from its own derived seed, in iteration order on one pooled
+// context (see measureCell).
 func (r *Runner) sweepCell(name string, setup cuda.Setup, size workloads.Size,
 	p float64, opts workloads.SensitivityOptions) (Result, error) {
 	iters := r.iters()
 	res := Result{Setup: setup, Size: size, Breakdowns: make([]cuda.Breakdown, iters)}
-	err := r.forEach(iters, func(i int) error {
-		seed := r.seedFor(name, setup, size, i) + int64(p*17)
-		ctx := cuda.NewContext(r.Config, setup, seed)
+	seed := func(i int) int64 { return r.seedFor(name, setup, size, i) + int64(p*17) }
+	ctx := r.acquireCtx(setup, seed(0))
+	defer r.releaseCtx(ctx)
+	for i := 0; i < iters; i++ {
+		if i > 0 {
+			ctx.Reset(r.Config, setup, seed(i))
+		}
 		if r.TraceHook != nil {
 			if tr := r.TraceHook(name, setup, size, i); tr != nil {
 				ctx.SetTracer(tr)
 			}
 		}
 		if err := workloads.RunVectorSeqSensitivity(ctx, size, opts); err != nil {
-			return err
+			return res, err
 		}
 		res.Breakdowns[i] = ctx.Breakdown()
-		return nil
-	})
-	return res, err
+	}
+	return res, nil
 }
 
 // SweepBlocks is Figure 11: vary the number of blocks with 256 threads.

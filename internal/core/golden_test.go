@@ -1,13 +1,20 @@
 package core
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/workloads"
 )
+
+// -update regenerates every golden file from the current code. Only use
+// it to capture goldens BEFORE a refactor whose output must stay
+// byte-identical; regenerating afterwards would defeat the pin.
+var updateGoldens = flag.Bool("update", false, "rewrite golden files from current output")
 
 // Golden byte-identity tests for the O(1) eviction refactor. Every
 // golden file under testdata/ was captured from the pre-refactor code
@@ -34,6 +41,12 @@ func readGolden(t *testing.T, name string) string {
 
 func checkGolden(t *testing.T, name, got string) {
 	t.Helper()
+	if *updateGoldens {
+		if err := os.WriteFile(filepath.Join("testdata", name), []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
 	want := readGolden(t, name)
 	if got == want {
 		return
@@ -92,6 +105,55 @@ func sweepGolden(t *testing.T, sw *Sweep, figure, tag, base string) {
 		t.Fatal(err)
 	}
 	checkGolden(t, base+".json", js)
+}
+
+// TestGoldenFig7 pins the headline micro five-setup comparison
+// (Large + Super, the uvmbench fig7 artifact) byte-for-byte against
+// output captured before the GC-free hot-loop rewrite (arena-recycled
+// contexts, index-linked LRU, batched DemandRange).
+func TestGoldenFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-size micro grid in -short mode")
+	}
+	r := NewRunner()
+	r.Iterations = 2
+	var text strings.Builder
+	var studies []*BreakdownStudy
+	for _, size := range []workloads.Size{workloads.Large, workloads.Super} {
+		study, err := r.BreakdownComparison(workloads.Micro(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		studies = append(studies, study)
+		text.WriteString(study.Render("Figure 7"))
+		text.WriteString("\n")
+	}
+	checkGolden(t, "golden_fig7.txt", text.String())
+	js, err := RenderJSON(Fig7Doc(studies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_fig7.json", js)
+}
+
+// TestGoldenFig8 pins the application five-setup comparison (Super, the
+// uvmbench fig8 artifact) the same way.
+func TestGoldenFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application grid in -short mode")
+	}
+	r := NewRunner()
+	r.Iterations = 2
+	study, err := r.BreakdownComparison(workloads.Apps(), workloads.Super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_fig8.txt", study.Render("Figure 8"))
+	js, err := RenderJSON(study.Doc("fig8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_fig8.json", js)
 }
 
 func TestGoldenFig12(t *testing.T) {

@@ -53,7 +53,8 @@ func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int
 	err := r.forEach(len(ratios), func(i int) error {
 		ratio := ratios[i]
 		footprint := int64(ratio * float64(capacity))
-		ctx := cuda.NewContext(r.Config, setup, r.BaseSeed)
+		ctx := r.acquireCtx(setup, r.BaseSeed)
+		defer r.releaseCtx(ctx)
 		buf, err := ctx.Alloc("oversub", footprint)
 		if err != nil {
 			return err

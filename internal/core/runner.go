@@ -57,6 +57,7 @@ type Runner struct {
 
 	exec  *executor
 	cache *cellCache
+	pool  *contextPool
 }
 
 // NewRunner returns a Runner with the paper's defaults: the default
@@ -77,6 +78,29 @@ func NewRunnerFor(p profile.Profile) *Runner {
 		Cache:      true,
 		exec:       &executor{},
 		cache:      newCellCache(),
+		pool:       &contextPool{},
+	}
+}
+
+// acquireCtx returns a simulation context initialized to (Config, setup,
+// seed): a recycled one from the shared pool when available (reset, so
+// its arenas are warm but its observable state matches a fresh context
+// bit for bit), a new one otherwise. Pair with releaseCtx. A zero-value
+// Runner has no pool and always builds fresh contexts.
+func (r *Runner) acquireCtx(setup cuda.Setup, seed int64) *cuda.Context {
+	if r.pool != nil {
+		if ctx := r.pool.get(); ctx != nil {
+			ctx.Reset(r.Config, setup, seed)
+			return ctx
+		}
+	}
+	return cuda.NewContext(r.Config, setup, seed)
+}
+
+// releaseCtx parks the context for reuse by a later cell.
+func (r *Runner) releaseCtx(ctx *cuda.Context) {
+	if r.pool != nil {
+		r.pool.put(ctx)
 	}
 }
 
@@ -162,9 +186,12 @@ func (r *Runner) Measure(w workloads.Workload, setup cuda.Setup, size workloads.
 	})
 }
 
-// measureCell simulates every iteration of one cell. Iterations are
-// independent (per-iteration seeds), so they fan out across the executor
-// and land in iteration order in the Breakdowns slice.
+// measureCell simulates every iteration of one cell on one pooled
+// context, resetting it between iterations (per-iteration seeds make
+// each reset run identical to a fresh context). Cells — not iterations —
+// are the unit of executor parallelism, so the context is exclusively
+// this cell's for the whole loop and a warmed-up iteration allocates
+// nothing.
 func (r *Runner) measureCell(w workloads.Workload, setup cuda.Setup, size workloads.Size) (Result, error) {
 	iters := r.iters()
 	res := Result{
@@ -173,25 +200,25 @@ func (r *Runner) measureCell(w workloads.Workload, setup cuda.Setup, size worklo
 		Size:       size,
 		Breakdowns: make([]cuda.Breakdown, iters),
 	}
-	err := r.forEach(iters, func(i int) error {
-		ctx := cuda.NewContext(r.Config, setup, r.seedFor(w.Name(), setup, size, i))
+	ctx := r.acquireCtx(setup, r.seedFor(w.Name(), setup, size, 0))
+	defer r.releaseCtx(ctx)
+	for i := 0; i < iters; i++ {
+		if i > 0 {
+			ctx.Reset(r.Config, setup, r.seedFor(w.Name(), setup, size, i))
+		}
 		if r.TraceHook != nil {
 			if tr := r.TraceHook(w.Name(), setup, size, i); tr != nil {
 				ctx.SetTracer(tr)
 			}
 		}
 		if err := w.Run(ctx, size); err != nil {
-			return fmt.Errorf("core: %s/%s/%s iteration %d: %w",
-				w.Name(), setup, size, i, err)
+			return Result{Workload: w.Name(), Setup: setup, Size: size},
+				fmt.Errorf("core: %s/%s/%s iteration %d: %w", w.Name(), setup, size, i, err)
 		}
 		res.Breakdowns[i] = ctx.Breakdown()
 		if i == iters-1 {
 			res.Counters = *ctx.Counters()
 		}
-		return nil
-	})
-	if err != nil {
-		return Result{Workload: w.Name(), Setup: setup, Size: size}, err
 	}
 	return res, nil
 }

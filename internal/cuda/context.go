@@ -44,6 +44,16 @@ type Context struct {
 	kernelSpans []sim.Interval
 	live        int
 	tracer      *trace.Tracer
+
+	// Buffer watermark pool: Alloc hands out bufs[bufNext] when one is
+	// left from an earlier life of this context, growing the pool
+	// otherwise. Buffers are recycled only by Reset — never by Free — so
+	// double frees stay detectable for the whole run.
+	bufs    []*Buffer
+	bufNext int
+	// demandSeq is the reusable shuffle scratch of the irregular demand
+	// path in paceManaged (pointer-free, so refills are barrier-free).
+	demandSeq []demandRef
 }
 
 // NewContext creates a fresh simulated process under the given setup.
@@ -69,6 +79,56 @@ func NewContext(cfg SystemConfig, setup Setup, seed int64) *Context {
 	ctx.host.Randomize(ctx.rng)
 	ctx.overhead = cfg.SystemOverheadNs * ctx.jitter(cfg.OverheadJitterRel)
 	return ctx
+}
+
+// Reset rewinds the context to the state NewContext(cfg, setup, seed)
+// would produce, reusing every arena the previous runs warmed up: the
+// event queue, link interval sets, UVM region/node arenas, host and
+// device allocator storage, and the Buffer pool. A reset context
+// reproduces a fresh context's simulation bit for bit (the RNG is
+// reseeded, so the draw stream is identical), which is what lets the
+// harness hold one context per measurement cell instead of allocating
+// thirty. When the system configuration differs from the context's
+// current one, the arenas are rebuilt from scratch.
+func (c *Context) Reset(cfg SystemConfig, setup Setup, seed int64) {
+	if cfg != c.cfg {
+		*c = *NewContext(cfg, setup, seed)
+		return
+	}
+	c.setup = setup
+	c.eng.Reset()
+	c.eng.SetTracer(nil)
+	c.bus.Reset()
+	c.model.SetTracer(nil)
+	*c.ctrs = counters.Set{}
+	c.mgr.Reset()
+	c.host.Reset()
+	c.dev.Reset()
+	c.rng.Seed(seed)
+	c.SharedPerBlockKB = 0
+	c.now = 0
+	c.allocBusy = 0
+	c.kernelSpans = c.kernelSpans[:0]
+	c.live = 0
+	c.tracer = nil
+	c.bufNext = 0
+	c.host.Randomize(c.rng)
+	c.overhead = cfg.SystemOverheadNs * c.jitter(cfg.OverheadJitterRel)
+}
+
+// newBuffer takes the next Buffer from the pool, growing it when the
+// high-water mark is reached.
+func (c *Context) newBuffer() *Buffer {
+	if c.bufNext < len(c.bufs) {
+		b := c.bufs[c.bufNext]
+		c.bufNext++
+		*b = Buffer{}
+		return b
+	}
+	b := &Buffer{}
+	c.bufs = append(c.bufs, b)
+	c.bufNext++
+	return b
 }
 
 // jitter returns a multiplicative noise factor uniform in [1-rel, 1+rel].
@@ -141,9 +201,11 @@ func (c *Context) Malloc(name string, size int64) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Buffer{Name: name, Size: size, addr: addr}
+	b := c.newBuffer()
+	b.Name, b.Size, b.addr = name, size, addr
 	if err := c.placeHost(b); err != nil {
 		c.dev.Free(addr)
+		c.bufNext-- // b was the last buffer handed out
 		return nil, err
 	}
 	c.chargeAlloc(c.cfg.Alloc.MallocTime(size), "cudaMalloc", size)
@@ -158,9 +220,11 @@ func (c *Context) MallocManaged(name string, size int64) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Buffer{Name: name, Size: size, managed: true, region: region}
+	b := c.newBuffer()
+	b.Name, b.Size, b.managed, b.region = name, size, true, region
 	if err := c.placeHost(b); err != nil {
 		c.mgr.Unregister(region)
+		c.bufNext-- // b was the last buffer handed out
 		return nil, err
 	}
 	c.chargeAlloc(c.cfg.Alloc.ManagedTime(size), "cudaMallocManaged", size)

@@ -2,6 +2,7 @@ package cuda
 
 import (
 	"fmt"
+	"strings"
 
 	"uvmasim/internal/gpu"
 	"uvmasim/internal/sim"
@@ -40,14 +41,18 @@ type Launch struct {
 //     the kernel races ahead of the stream and faults anyway — the reason
 //     lud gains nothing from prefetching (§4.1.2).
 func (c *Context) Launch(l Launch) error {
+	// The error paths clone the names they box: interface-converting
+	// l.Spec.Name (or a buffer's Name) directly would leak l itself, and
+	// with it the callers' Reads/Writes slice literals — the launch path
+	// must leave those on the stack to stay alloc-free.
 	for _, bufs := range [2][]*Buffer{l.Reads, l.Writes} {
 		for _, b := range bufs {
 			if b == nil || b.freed {
-				return fmt.Errorf("cuda: launch %q uses an invalid buffer", l.Spec.Name)
+				return fmt.Errorf("cuda: launch %q uses an invalid buffer", strings.Clone(l.Spec.Name))
 			}
 			if b.managed != c.setup.Managed() {
 				return fmt.Errorf("cuda: launch %q: buffer %q allocation kind does not match setup %v",
-					l.Spec.Name, b.Name, c.setup)
+					strings.Clone(l.Spec.Name), strings.Clone(b.Name), c.setup)
 			}
 		}
 	}
@@ -55,8 +60,10 @@ func (c *Context) Launch(l Launch) error {
 		return err
 	}
 
-	c.tracer.Span(trace.Host, "cudaLaunchKernel", c.now, c.now+c.cfg.KernelLaunchNs,
-		trace.Args{Detail: l.Spec.Name})
+	if c.tracer.Enabled() {
+		c.tracer.Span(trace.Host, "cudaLaunchKernel", c.now, c.now+c.cfg.KernelLaunchNs,
+			trace.Args{Detail: strings.Clone(l.Spec.Name)})
+	}
 	c.now += c.cfg.KernelLaunchNs
 
 	// Prefetch pass (uvm_prefetch*): one driver call per input region.
@@ -109,7 +116,7 @@ func (c *Context) Launch(l Launch) error {
 		for _, b := range l.Reads {
 			readBytes += b.Size
 		}
-		c.tracer.Span(trace.Kernel, l.Spec.Name, start, end, trace.Args{
+		c.tracer.Span(trace.Kernel, strings.Clone(l.Spec.Name), start, end, trace.Args{
 			Bytes:  readBytes,
 			Setup:  c.setup.String(),
 			Detail: fmt.Sprintf("occupancy=%.3f", res.Occ.Fraction),
@@ -154,33 +161,25 @@ func (c *Context) paceManaged(l Launch, res gpu.LaunchResult, start float64) flo
 
 	chunkBytes := c.cfg.UVM.ChunkBytes
 	if sequential {
-		// Hot path: walk chunks in address order directly; no demand list
-		// is materialized and no per-chunk state escapes to the heap.
+		// Hot path: each input region is one extent-ranged manager call
+		// that walks its chunks in address order — identical per-chunk
+		// faulting and pacing to a DemandChunk loop (the goldens pin it),
+		// minus the per-chunk call and bounds setup.
 		computePerByte := res.ExecTime / float64(totalBytes) * c.jitter(0.005)
 		cursor := start
 		for _, b := range l.Reads {
-			for i := 0; i < b.region.NumChunks(); i++ {
-				size := chunkBytes
-				if rem := b.Size - int64(i)*chunkBytes; rem < size {
-					size = rem
-				}
-				avail := c.mgr.DemandChunk(b.region, i, cursor, 1, true)
-				cursor = avail + float64(size)*computePerByte
-			}
+			cursor = c.mgr.DemandRange(b.region, 0, b.region.NumChunks(), cursor, computePerByte)
 		}
 		return cursor
 	}
 
-	type demand struct {
-		buf *Buffer
-		idx int
-	}
-	seq := make([]demand, 0, chunks)
-	for _, b := range l.Reads {
+	seq := c.demandSeq[:0]
+	for bi, b := range l.Reads {
 		for i := 0; i < b.region.NumChunks(); i++ {
-			seq = append(seq, demand{b, i})
+			seq = append(seq, demandRef{buf: int32(bi), idx: int32(i)})
 		}
 	}
+	c.demandSeq = seq
 	c.rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
 
 	// Demand migration efficiency depends on how well the driver's
@@ -198,14 +197,24 @@ func (c *Context) paceManaged(l Launch, res gpu.LaunchResult, start float64) flo
 	computePerByte := res.ExecTime / float64(totalBytes) * c.jitter(0.005)
 	cursor := start
 	for _, d := range seq {
+		b := l.Reads[d.buf]
 		size := chunkBytes
-		if rem := d.buf.Size - int64(d.idx)*chunkBytes; rem < size {
+		if rem := b.Size - int64(d.idx)*chunkBytes; rem < size {
 			size = rem
 		}
-		avail := c.mgr.DemandChunk(d.buf.region, d.idx, cursor, patternEff, false)
+		avail := c.mgr.DemandChunk(b.region, int(d.idx), cursor, patternEff, false)
 		cursor = avail + float64(size)*computePerByte
 	}
 	return cursor
+}
+
+// demandRef names one chunk of one launch input (an index into
+// Launch.Reads plus a chunk index) in the shuffled demand order. It is
+// pointer-free so the retained shuffle scratch stays off the garbage
+// collector's scan list.
+type demandRef struct {
+	buf int32
+	idx int32
 }
 
 // Breakdown is the paper's execution-time decomposition: data allocation

@@ -47,6 +47,16 @@ func NewAllocator(capacity int64) *Allocator {
 // Capacity returns the total HBM capacity in bytes.
 func (a *Allocator) Capacity() int64 { return a.capacity }
 
+// Reset releases every allocation and the peak watermark, returning the
+// allocator to its post-NewAllocator state while keeping the free-list
+// and live-map storage warm for reuse.
+func (a *Allocator) Reset() {
+	a.free = append(a.free[:0], block{addr: 0, size: a.capacity})
+	clear(a.live)
+	a.inUse = 0
+	a.peak = 0
+}
+
 // InUse returns the bytes currently allocated.
 func (a *Allocator) InUse() int64 { return a.inUse }
 

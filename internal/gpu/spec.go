@@ -1,6 +1,9 @@
 package gpu
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Access classifies a kernel's dominant global-memory access pattern.
 // It drives DRAM efficiency, L1 behaviour, UVM prefetcher accuracy and
@@ -207,25 +210,30 @@ func (s KernelSpec) withDefaults() KernelSpec {
 }
 
 // Validate reports structural problems in the spec.
+//
+// The error paths clone s.Name before boxing it: interface-converting
+// the field directly would make the whole receiver leak, forcing every
+// caller's enclosing struct (e.g. cuda.Launch and its buffer slices) to
+// heap-allocate on the alloc-free launch path.
 func (s KernelSpec) Validate() error {
 	switch {
 	case s.Blocks <= 0:
-		return fmt.Errorf("gpu: kernel %q: Blocks must be positive, got %d", s.Name, s.Blocks)
+		return fmt.Errorf("gpu: kernel %q: Blocks must be positive, got %d", strings.Clone(s.Name), s.Blocks)
 	case s.ThreadsPerBlock <= 0:
-		return fmt.Errorf("gpu: kernel %q: ThreadsPerBlock must be positive, got %d", s.Name, s.ThreadsPerBlock)
+		return fmt.Errorf("gpu: kernel %q: ThreadsPerBlock must be positive, got %d", strings.Clone(s.Name), s.ThreadsPerBlock)
 	case s.ThreadsPerBlock > 1024:
-		return fmt.Errorf("gpu: kernel %q: ThreadsPerBlock %d exceeds CUDA limit 1024", s.Name, s.ThreadsPerBlock)
+		return fmt.Errorf("gpu: kernel %q: ThreadsPerBlock %d exceeds CUDA limit 1024", strings.Clone(s.Name), s.ThreadsPerBlock)
 	case s.LoadBytes < 0 || s.StoreBytes < 0:
-		return fmt.Errorf("gpu: kernel %q: negative byte counts", s.Name)
+		return fmt.Errorf("gpu: kernel %q: negative byte counts", strings.Clone(s.Name))
 	case s.LoadAccessBytes != 0 && s.LoadAccessBytes < s.LoadBytes:
 		return fmt.Errorf("gpu: kernel %q: LoadAccessBytes %d below unique LoadBytes %d",
-			s.Name, s.LoadAccessBytes, s.LoadBytes)
+			strings.Clone(s.Name), s.LoadAccessBytes, s.LoadBytes)
 	case s.Flops < 0 || s.IntOps < 0 || s.CtrlOps < 0:
-		return fmt.Errorf("gpu: kernel %q: negative op counts", s.Name)
+		return fmt.Errorf("gpu: kernel %q: negative op counts", strings.Clone(s.Name))
 	case s.TileBytes < 0:
-		return fmt.Errorf("gpu: kernel %q: negative TileBytes", s.Name)
+		return fmt.Errorf("gpu: kernel %q: negative TileBytes", strings.Clone(s.Name))
 	case s.StagedFraction < 0 || s.StagedFraction > 1:
-		return fmt.Errorf("gpu: kernel %q: StagedFraction %v outside [0,1]", s.Name, s.StagedFraction)
+		return fmt.Errorf("gpu: kernel %q: StagedFraction %v outside [0,1]", strings.Clone(s.Name), s.StagedFraction)
 	}
 	return nil
 }

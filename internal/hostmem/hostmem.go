@@ -73,15 +73,26 @@ func (p Placement) SpillFraction() float64 {
 	return float64(p.Spilled()) / float64(p.Size)
 }
 
+// entry is one allocation slot in the Memory arena. Slots are recycled
+// LIFO through the free list; a slot's Segments backing array survives
+// recycling, so a warmed-up Memory allocates nothing per Alloc/Free
+// cycle.
+type entry struct {
+	active bool
+	place  Placement
+}
+
 // Memory is the host DRAM allocator/model. It is not safe for concurrent
 // use; the simulator is single-threaded.
 type Memory struct {
 	cfg       Config
 	ambient   []int64 // bytes consumed by "the rest of the system" per chip
 	used      []int64 // bytes consumed by our allocations per chip
-	allocs    map[int64]Placement
-	nextID    int64
-	preferred int // NUMA-local chip that first-touch placement starts on
+	entries   []entry // allocation arena; id = slot index + 1
+	freeIDs   []int32 // recycled slots, LIFO
+	live      int
+	order     []int // scratch for the first-touch placement walk
+	preferred int   // NUMA-local chip that first-touch placement starts on
 }
 
 // New creates a Memory with zero ambient occupancy. Call Randomize before
@@ -94,8 +105,25 @@ func New(cfg Config) *Memory {
 		cfg:     cfg,
 		ambient: make([]int64, cfg.Chips),
 		used:    make([]int64, cfg.Chips),
-		allocs:  make(map[int64]Placement),
+		order:   make([]int, cfg.Chips),
 	}
+}
+
+// Reset releases every allocation and zeroes the background occupancy,
+// returning the Memory to its post-New state while keeping the arena
+// warm. Call Randomize afterwards to draw the next run's system state.
+func (m *Memory) Reset() {
+	for i := range m.used {
+		m.used[i] = 0
+		m.ambient[i] = 0
+	}
+	m.freeIDs = m.freeIDs[:0]
+	for i := len(m.entries) - 1; i >= 0; i-- {
+		m.entries[i].active = false
+		m.freeIDs = append(m.freeIDs, int32(i))
+	}
+	m.live = 0
+	m.preferred = 0
 }
 
 // Config returns the memory system's configuration.
@@ -149,13 +177,23 @@ func (m *Memory) Alloc(size int64) (int64, Placement, error) {
 	if size > m.FreeBytes() {
 		return 0, Placement{}, fmt.Errorf("hostmem: out of memory: need %d, free %d", size, m.FreeBytes())
 	}
-	order := make([]int, m.cfg.Chips)
-	for i := range order {
-		order[i] = (m.preferred + i) % m.cfg.Chips
+	for i := range m.order {
+		m.order[i] = (m.preferred + i) % m.cfg.Chips
 	}
-	p := Placement{Size: size}
+	var slot int
+	if n := len(m.freeIDs); n > 0 {
+		slot = int(m.freeIDs[n-1])
+		m.freeIDs = m.freeIDs[:n-1]
+	} else {
+		m.entries = append(m.entries, entry{})
+		slot = len(m.entries) - 1
+	}
+	e := &m.entries[slot]
+	e.active = true
+	e.place.Size = size
+	e.place.Segments = e.place.Segments[:0]
 	remaining := size
-	for _, chip := range order {
+	for _, chip := range m.order {
 		if remaining == 0 {
 			break
 		}
@@ -167,31 +205,35 @@ func (m *Memory) Alloc(size int64) (int64, Placement, error) {
 			continue
 		}
 		m.used[chip] += take
-		p.Segments = append(p.Segments, Segment{Chip: chip, Bytes: take})
+		e.place.Segments = append(e.place.Segments, Segment{Chip: chip, Bytes: take})
 		remaining -= take
 	}
 	if remaining != 0 {
 		panic("hostmem: accounting error, free bytes changed during alloc")
 	}
-	m.nextID++
-	m.allocs[m.nextID] = p
-	return m.nextID, p, nil
+	m.live++
+	return int64(slot) + 1, e.place, nil
 }
 
-// Free releases the allocation with the given id. Freeing an unknown id
-// returns an error so double frees surface in tests.
+// Free releases the allocation with the given id and recycles its slot.
+// Freeing an unknown or already-freed id returns an error so double
+// frees surface in tests. The returned Placement's Segments stay
+// readable until the slot is reused by a later Alloc.
 func (m *Memory) Free(id int64) error {
-	p, ok := m.allocs[id]
-	if !ok {
+	slot := int(id) - 1
+	if slot < 0 || slot >= len(m.entries) || !m.entries[slot].active {
 		return fmt.Errorf("hostmem: free of unknown allocation %d", id)
 	}
-	for _, seg := range p.Segments {
+	e := &m.entries[slot]
+	for _, seg := range e.place.Segments {
 		m.used[seg.Chip] -= seg.Bytes
 		if m.used[seg.Chip] < 0 {
 			panic("hostmem: negative usage after free")
 		}
 	}
-	delete(m.allocs, id)
+	e.active = false
+	m.freeIDs = append(m.freeIDs, int32(slot))
+	m.live--
 	return nil
 }
 
@@ -214,4 +256,4 @@ func (m *Memory) CopyEfficiency(p Placement, rng *rand.Rand) float64 {
 }
 
 // LiveAllocations reports how many allocations are outstanding.
-func (m *Memory) LiveAllocations() int { return len(m.allocs) }
+func (m *Memory) LiveAllocations() int { return m.live }

@@ -30,6 +30,7 @@ type evictRec struct {
 // diffRig is one manager under test plus its recording hooks.
 type diffRig struct {
 	m       *Manager
+	bus     *pcie.Bus
 	tr      *trace.Tracer
 	regions []*Region
 	ords    map[*Region]int
@@ -43,6 +44,7 @@ func newDiffRig(capacity int64, reference bool) *diffRig {
 	bus := pcie.New(eng, pcie.DefaultConfig())
 	rig := &diffRig{
 		m:    NewManager(DefaultConfig(), bus, capacity, &counters.UVMStats{}),
+		bus:  bus,
 		tr:   tr,
 		ords: make(map[*Region]int),
 	}
@@ -67,11 +69,18 @@ func (rig *diffRig) register(t *testing.T, size int64) {
 // for untimed operations) plus a label for failure messages.
 func (rig *diffRig) step(rng *rand.Rand, now float64) (float64, string) {
 	r := rig.regions[rng.Intn(len(rig.regions))]
-	switch op := rng.Intn(6); op {
+	switch op := rng.Intn(7); op {
 	case 0:
 		idx := rng.Intn(r.NumChunks())
 		return rig.m.DemandChunk(r, idx, now, 0.5+0.5*rng.Float64(), rng.Intn(2) == 0),
 			fmt.Sprintf("demand r%d[%d]", rig.ords[r], idx)
+	case 6:
+		n := r.NumChunks()
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		cpb := rng.Float64() * 0.01
+		return rig.m.DemandRange(r, lo, hi, now, cpb),
+			fmt.Sprintf("range r%d[%d:%d]", rig.ords[r], lo, hi)
 	case 1:
 		return rig.m.PrefetchRegion(r, now), fmt.Sprintf("prefetch r%d", rig.ords[r])
 	case 2:
@@ -139,6 +148,13 @@ func TestDifferentialEviction(t *testing.T) {
 					recycle(t, fast, i)
 					recycle(t, ref, i)
 				}
+				// And occasionally reset the whole manager (the pooled
+				// context lifecycle), re-registering every region from
+				// the recycled arenas.
+				if step%131 == 130 {
+					resetRig(t, fast, sizes)
+					resetRig(t, ref, sizes)
+				}
 			}
 
 			compareRigs(t, fast, ref)
@@ -173,9 +189,31 @@ func recycle(t *testing.T, rig *diffRig, i int) {
 	rig.ords[r] = i
 }
 
+// resetRig resets the rig's manager (exercising the arena recycling
+// path) and re-registers the same region sizes in order, so the rig's
+// ordinal table keeps describing the same logical regions.
+func resetRig(t *testing.T, rig *diffRig, sizes []int64) {
+	t.Helper()
+	rig.m.Reset()
+	rig.regions = rig.regions[:0]
+	rig.ords = make(map[*Region]int)
+	for _, s := range sizes {
+		rig.register(t, s)
+	}
+}
+
 // compareRigs asserts full observable-state equality between the two
-// evictors.
+// rigs, trace streams included.
 func compareRigs(t *testing.T, fast, ref *diffRig) {
+	t.Helper()
+	compareRigsState(t, fast, ref)
+	compareTraces(t, fast.tr.Events(), ref.tr.Events())
+}
+
+// compareRigsState asserts equality of everything except the raw trace
+// streams (TestResetMatchesFresh compares those over a suffix, since the
+// recycled rig's tracer keeps its warm-phase events).
+func compareRigsState(t *testing.T, fast, ref *diffRig) {
 	t.Helper()
 	if len(fast.evicts) != len(ref.evicts) {
 		t.Fatalf("eviction counts differ: %d (lru) vs %d (scan)", len(fast.evicts), len(ref.evicts))
@@ -211,13 +249,17 @@ func compareRigs(t *testing.T, fast, ref *diffRig) {
 			}
 		}
 	}
-	evA, evB := fast.tr.Events(), ref.tr.Events()
+}
+
+// compareTraces asserts two trace event streams are identical.
+func compareTraces(t *testing.T, evA, evB []trace.Event) {
+	t.Helper()
 	if len(evA) != len(evB) {
 		t.Fatalf("trace lengths differ: %d vs %d", len(evA), len(evB))
 	}
 	for i := range evA {
 		if evA[i] != evB[i] {
-			t.Fatalf("trace event %d differs:\nlru:  %+v\nscan: %+v", i, evA[i], evB[i])
+			t.Fatalf("trace event %d differs:\nA: %+v\nB: %+v", i, evA[i], evB[i])
 		}
 	}
 }
@@ -237,12 +279,14 @@ func TestLRUMatchesStampOrder(t *testing.T) {
 		}
 		last := int64(-1)
 		count := 0
-		for n := rig.m.lru.next; n != &rig.m.lru; n = n.next {
-			stamp := n.region.lastUse[n.idx]
+		for s := rig.m.nodes[0].next; s != 0; s = rig.m.nodes[s].next {
+			n := rig.m.nodes[s]
+			reg := rig.m.regs[n.region]
+			stamp := reg.lastUse[n.idx]
 			if stamp <= last {
 				t.Fatalf("step %d: ring out of stamp order (%d after %d)", step, stamp, last)
 			}
-			if !n.region.Resident(int(n.idx)) {
+			if !reg.Resident(int(n.idx)) {
 				t.Fatalf("step %d: non-resident chunk on the ring", step)
 			}
 			last = stamp
@@ -255,5 +299,150 @@ func TestLRUMatchesStampOrder(t *testing.T) {
 		if count != total {
 			t.Fatalf("step %d: ring has %d nodes, regions count %d resident", step, count, total)
 		}
+	}
+}
+
+// TestDemandRangeMatchesChunkLoop pins the batched demand path to its
+// definition: DemandRange(lo, hi) must be observably identical — returned
+// compute cursor, stats, per-chunk state, victim order and trace stream —
+// to the caller-side loop of DemandChunk(i, cursor, 1, true) it replaced
+// on the sequential launch path.
+func TestDemandRangeMatchesChunkLoop(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			capacity := int64(3+rng.Intn(8)) << 20
+			nRegions := 1 + rng.Intn(3)
+			sizes := make([]int64, nRegions)
+			for i := range sizes {
+				sizes[i] = int64(1+rng.Intn(int(2*capacity>>20))) << 20
+				if rng.Intn(3) == 0 {
+					sizes[i] -= int64(rng.Intn(1 << 20))
+				}
+			}
+
+			batched := newDiffRig(capacity, false)
+			looped := newDiffRig(capacity, false)
+			for _, s := range sizes {
+				batched.register(t, s)
+				looped.register(t, s)
+			}
+
+			opsA := rand.New(rand.NewSource(seed + 2000))
+			opsB := rand.New(rand.NewSource(seed + 2000))
+			now := 0.0
+			for step := 0; step < 200; step++ {
+				// Mostly mixed ops (run in lockstep on both rigs) to build
+				// up partial residency, prefetch races and dirty state;
+				// every fourth step is the range-vs-loop probe itself.
+				if step%4 != 3 {
+					gotA, label := batched.step(opsA, now)
+					gotB, _ := looped.step(opsB, now)
+					if gotA != gotB && !(math.IsNaN(gotA) && math.IsNaN(gotB)) {
+						t.Fatalf("step %d (%s): mixed op diverged: %v vs %v", step, label, gotA, gotB)
+					}
+					if !math.IsNaN(gotA) && gotA > now {
+						now = gotA
+					}
+					continue
+				}
+				ri := opsA.Intn(len(batched.regions))
+				_ = opsB.Intn(len(looped.regions))
+				rA, rB := batched.regions[ri], looped.regions[ri]
+				n := rA.NumChunks()
+				lo := opsA.Intn(n)
+				hi := lo + 1 + opsA.Intn(n-lo)
+				cpb := opsA.Float64() * 0.01
+				_, _, _ = opsB.Intn(n), opsB.Intn(n-lo), opsB.Float64()
+
+				gotA := batched.m.DemandRange(rA, lo, hi, now, cpb)
+				cursor := now
+				for i := lo; i < hi; i++ {
+					avail := looped.m.DemandChunk(rB, i, cursor, 1, true)
+					cursor = avail + float64(looped.m.chunkSize(rB, i))*cpb
+				}
+				if gotA != cursor {
+					t.Fatalf("step %d: DemandRange r%d[%d:%d) returned %v, chunk loop %v",
+						step, ri, lo, hi, gotA, cursor)
+				}
+				if gotA > now {
+					now = gotA
+				}
+			}
+			compareRigs(t, batched, looped)
+		})
+	}
+}
+
+// TestResetMatchesFresh pins the recycling oracle behind the context
+// pool: a manager that has been driven hard, Reset, and re-registered
+// from its free list must replay a script exactly like a freshly
+// constructed manager — same availability times, same victim order, same
+// stats, same per-chunk state, same trace stream.
+func TestResetMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			capacity := int64(3+rng.Intn(8)) << 20
+			warmSizes := make([]int64, 2+rng.Intn(3))
+			for i := range warmSizes {
+				warmSizes[i] = int64(1+rng.Intn(int(2*capacity>>20))) << 20
+			}
+			sizes := make([]int64, 2+rng.Intn(3))
+			for i := range sizes {
+				sizes[i] = int64(1+rng.Intn(int(2*capacity>>20))) << 20
+				if rng.Intn(3) == 0 {
+					sizes[i] -= int64(rng.Intn(1 << 20))
+				}
+			}
+
+			recycled := newDiffRig(capacity, false)
+			for _, s := range warmSizes {
+				recycled.register(t, s)
+			}
+			warm := rand.New(rand.NewSource(seed + 500))
+			now := 0.0
+			for i := 0; i < 150; i++ {
+				if got, _ := recycled.step(warm, now); !math.IsNaN(got) && got > now {
+					now = got
+				}
+			}
+
+			// Reset the full simulated machine the way cuda.Context.Reset
+			// does: manager arenas, bus timeline, counters. The tracer keeps
+			// its warm-phase events; the comparison below starts after them.
+			recycled.m.Reset()
+			recycled.bus.Reset()
+			*recycled.m.Stats = counters.UVMStats{}
+			recycled.evicts = recycled.evicts[:0]
+			recycled.regions = recycled.regions[:0]
+			recycled.ords = make(map[*Region]int)
+			warmEvents := len(recycled.tr.Events())
+
+			fresh := newDiffRig(capacity, false)
+			for _, s := range sizes {
+				recycled.register(t, s)
+				fresh.register(t, s)
+			}
+
+			opsA := rand.New(rand.NewSource(seed + 900))
+			opsB := rand.New(rand.NewSource(seed + 900))
+			now = 0.0
+			for step := 0; step < 200; step++ {
+				gotA, label := recycled.step(opsA, now)
+				gotB, _ := fresh.step(opsB, now)
+				if gotA != gotB && !(math.IsNaN(gotA) && math.IsNaN(gotB)) {
+					t.Fatalf("step %d (%s): recycled %v, fresh %v", step, label, gotA, gotB)
+				}
+				if !math.IsNaN(gotA) && gotA > now {
+					now = gotA
+				}
+			}
+
+			compareRigsState(t, recycled, fresh)
+			compareTraces(t, recycled.tr.Events()[warmEvents:], fresh.tr.Events())
+		})
 	}
 }

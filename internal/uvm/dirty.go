@@ -29,8 +29,16 @@ func (r *Region) markDirtyRange(first, last int) {
 		return // the whole range is already queued
 	}
 	grow := want - (hi - lo)
-	r.dirtyQ = append(r.dirtyQ, make([]int32, grow)...)
-	copy(r.dirtyQ[lo+want:], r.dirtyQ[hi:len(r.dirtyQ)-grow])
+	n := len(r.dirtyQ)
+	if n+grow > cap(r.dirtyQ) {
+		// Queue length is bounded by the chunk count, so after warm-up the
+		// retained capacity makes this branch (the only allocation) dead.
+		tmp := make([]int32, n, n+grow+n)
+		copy(tmp, r.dirtyQ)
+		r.dirtyQ = tmp
+	}
+	r.dirtyQ = r.dirtyQ[:n+grow]
+	copy(r.dirtyQ[lo+want:], r.dirtyQ[hi:n])
 	for i := 0; i < want; i++ {
 		idx := int32(first + i)
 		r.dirtyQ[lo+i] = idx

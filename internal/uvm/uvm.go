@@ -10,14 +10,18 @@
 // traffic naturally contends with (and overlaps) everything else on the
 // interconnect — the mechanism behind the U1 pipeline stage of Figure 1.
 //
-// Eviction bookkeeping is constant-time: an intrusive global LRU ring
-// plus per-region resident counters (see lru.go) replace the full
-// residency scan the evictor used to pay per victim, and an ascending
-// dirty-index queue (dirty.go) lets the writeback paths visit only dirty
-// chunks. The pre-optimization scan evictor is retained as a reference
-// implementation (refscan.go) and pinned equivalent by a differential
-// test. All timing is bit-for-bit identical to the scan era: same victim
-// order, same writeback reservations, same stats, same trace instants.
+// Eviction bookkeeping is constant-time: a global LRU ring plus
+// per-region resident counters (see lru.go) replace the full residency
+// scan the evictor used to pay per victim, and an ascending dirty-index
+// queue (dirty.go) lets the writeback paths visit only dirty chunks. All
+// link state lives in index-linked flat arenas owned by the Manager, and
+// Regions are recycled through a free list across Register/Unregister
+// cycles, so a warmed-up manager simulates without allocating or writing
+// heap pointers. The pre-optimization scan evictor is retained as a
+// reference implementation (refscan.go) and pinned equivalent by a
+// differential test. All timing is bit-for-bit identical to the scan
+// era: same victim order, same writeback reservations, same stats, same
+// trace instants.
 package uvm
 
 import (
@@ -54,7 +58,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Region is one cudaMallocManaged allocation.
+// Region is one cudaMallocManaged allocation. Region objects are owned
+// by the Manager and recycled: after Unregister the object may be handed
+// out again by a later Register, so callers must not use a region past
+// its Unregister.
 type Region struct {
 	id   int64
 	Size int64
@@ -63,9 +70,13 @@ type Region struct {
 	lastUse []int64   // LRU stamps
 	dirty   []bool    // chunk written by the device since last writeback
 
-	// Indexed bookkeeping (see lru.go and dirty.go).
-	nodes         []chunkNode // intrusive list nodes, one per chunk
-	res           chunkNode   // sentinel of the region resident ring
+	// Indexed bookkeeping (see lru.go and dirty.go). slot, base and
+	// nodeCap are fixed at creation: the region permanently owns arena
+	// slots [base, base+nodeCap) and is recycled only for sizes that fit.
+	slot          int32 // this region's index in Manager.regs
+	base          int32 // first owned slot in the Manager node arena
+	nodeCap       int32 // owned arena slots (maximum chunk count)
+	resHead       int32 // head of the resident list, -1 = empty
 	residentCount int
 	residentBytes int64
 	dirtyCount    int
@@ -101,8 +112,16 @@ type Manager struct {
 	resident int64 // managed bytes currently on-device
 	stamp    int64 // LRU clock
 
-	lru       chunkNode // sentinel of the global LRU ring (next = oldest)
-	scanEvict bool      // select victims with the reference scan instead
+	// Flat arenas. nodes holds every chunk's intrusive list links as
+	// int32 slot indices (slot 0 is the global LRU sentinel); regs holds
+	// every Region ever created, indexed by Region.slot so victim lookup
+	// resolves a node's owner without a pointer in the node. free lists
+	// unregistered regions available for recycling (best-fit by chunk
+	// capacity, so the choice is independent of free-list order).
+	nodes     []chunkNode
+	regs      []*Region
+	free      []*Region
+	scanEvict bool // select victims with the reference scan instead
 	// onEvict, when non-nil, observes every eviction (region, chunk,
 	// eviction-complete time). Differential tests use it to record and
 	// compare victim order between the two evictors.
@@ -138,14 +157,53 @@ func (m *Manager) Config() Config { return m.cfg }
 func (m *Manager) ResidentBytes() int64 { return m.resident }
 
 // Register creates a managed region of size bytes. Pages start
-// host-resident (first-touch on device will fault them over).
+// host-resident (first-touch on device will fault them over). The
+// returned Region may be a recycled object whose previous life ended
+// with Unregister; its observable state is identical to a fresh one.
 func (m *Manager) Register(size int64) (*Region, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("uvm: invalid managed size %d", size)
 	}
 	n := int((size + m.cfg.ChunkBytes - 1) / m.cfg.ChunkBytes)
+	r := m.takeRegion(n)
+	r.Size = size
+	m.nextID++
+	r.id = m.nextID
+	m.regions[r.id] = r
+	return r, nil
+}
+
+// takeRegion returns a clean n-chunk region: the best-fitting free
+// region when one is large enough (best-fit keeps the choice — and
+// therefore the steady-state allocation count — independent of the
+// free-list order), otherwise a newly grown one. Free regions hold the
+// clean-state invariant (nothing resident, nothing dirty or queued,
+// every owned node unlinked) over their whole node capacity, so slicing
+// the per-chunk arrays to n is all the reinitialization reuse needs.
+func (m *Manager) takeRegion(n int) *Region {
+	best := -1
+	for i, fr := range m.free {
+		if int(fr.nodeCap) < n {
+			continue
+		}
+		if best < 0 || fr.nodeCap < m.free[best].nodeCap {
+			best = i
+		}
+	}
+	if best >= 0 {
+		r := m.free[best]
+		m.free = append(m.free[:best], m.free[best+1:]...)
+		r.arrival = r.arrival[:n]
+		r.lastUse = r.lastUse[:n]
+		r.dirty = r.dirty[:n]
+		r.queued = r.queued[:n]
+		return r
+	}
 	r := &Region{
-		Size:    size,
+		slot:    int32(len(m.regs)),
+		base:    int32(len(m.nodes)),
+		nodeCap: int32(n),
+		resHead: -1,
 		arrival: make([]float64, n),
 		lastUse: make([]int64, n),
 		dirty:   make([]bool, n),
@@ -154,35 +212,71 @@ func (m *Manager) Register(size int64) (*Region, error) {
 	for i := range r.arrival {
 		r.arrival[i] = math.Inf(1)
 	}
-	r.initNodes()
-	m.nextID++
-	r.id = m.nextID
-	m.regions[r.id] = r
-	return r, nil
+	m.regs = append(m.regs, r)
+	m.newNodeRange(r, n)
+	return r
 }
 
-// Unregister drops the region, releasing its device residency. It walks
-// only the region's resident chunks (via the region ring), not every
-// chunk.
+// Unregister drops the region, releasing its device residency, and
+// recycles the object onto the free list. It walks only the region's
+// resident chunks and dirty queue, not every chunk.
 func (m *Manager) Unregister(r *Region) error {
-	if _, ok := m.regions[r.id]; !ok {
+	if reg, ok := m.regions[r.id]; !ok || reg != r {
 		return fmt.Errorf("uvm: unregister of unknown region %d", r.id)
 	}
-	for n := r.res.rnext; n != &r.res; {
-		next := n.rnext
+	m.releaseAll(r)
+	m.recycle(r)
+	delete(m.regions, r.id)
+	return nil
+}
+
+// releaseAll unlinks every resident chunk of r from the global ring and
+// the region list and clears the arrivals.
+func (m *Manager) releaseAll(r *Region) {
+	for s := r.resHead; s >= 0; {
+		n := &m.nodes[s]
 		r.arrival[n.idx] = math.Inf(1)
-		n.prev.next = n.next
-		n.next.prev = n.prev
-		n.prev, n.next, n.rprev, n.rnext = nil, nil, nil, nil
-		n = next
+		m.nodes[n.prev].next = n.next
+		m.nodes[n.next].prev = n.prev
+		next := n.rnext
+		n.prev, n.next, n.rprev, n.rnext = -1, -1, -1, -1
+		s = next
 	}
-	r.res.rnext = &r.res
-	r.res.rprev = &r.res
+	r.resHead = -1
 	m.resident -= r.residentBytes
 	r.residentBytes = 0
 	r.residentCount = 0
-	delete(m.regions, r.id)
-	return nil
+}
+
+// recycle scrubs r back to the clean state (dirty bits and queue
+// membership cleared via the queue, so the cost is proportional to the
+// queue length) and parks it on the free list.
+func (m *Manager) recycle(r *Region) {
+	for _, qi := range r.dirtyQ {
+		r.dirty[qi] = false
+		r.queued[qi] = false
+	}
+	r.dirtyQ = r.dirtyQ[:0]
+	r.dirtyCount = 0
+	m.free = append(m.free, r)
+}
+
+// Reset force-unregisters every remaining region and restarts the id and
+// stamp clocks, returning the manager to its post-NewManager state while
+// keeping every arena warm for reuse. Configuration (capacity, eviction
+// mode, observers, the Stats sink) is preserved; the caller owns
+// re-zeroing Stats. Recycling is deterministic and recycled regions are
+// indistinguishable from fresh ones, so a reset manager reproduces a
+// fresh manager's simulation bit for bit.
+func (m *Manager) Reset() {
+	for id, r := range m.regions {
+		m.releaseAll(r)
+		m.recycle(r)
+		delete(m.regions, id)
+	}
+	m.nextID = 0
+	m.resident = 0
+	m.stamp = 0
 }
 
 // chunkSize returns the byte size of chunk idx (the tail chunk may be
@@ -281,6 +375,72 @@ func (m *Manager) DemandChunk(r *Region, idx int, t float64, patternEff float64,
 	end := m.bus.MigrateOnDemand(ready+latency, size, patternEff)
 	m.hold(r, idx, end, size)
 	return end
+}
+
+// DemandRange walks chunks [lo, hi) of r as one coalesced sequential
+// demand stream: per chunk it performs exactly what
+// DemandChunk(r, i, cursor, 1, true) does, then advances the compute
+// cursor by the chunk's payload bytes × computePerByte, starting from
+// cursor = t. The per-chunk float arithmetic, stats accumulation order
+// and trace instants are identical to the equivalent caller-side
+// DemandChunk loop — goldens and traces observe the same bytes — while
+// the loop invariants (tracer lookup, the fault geometry of full-size
+// chunks, the coalesced batch latency) are hoisted out of the hot loop.
+// It returns the compute cursor after the last chunk.
+func (m *Manager) DemandRange(r *Region, lo, hi int, t, computePerByte float64) float64 {
+	tr := m.bus.Tracer()
+	full := m.cfg.ChunkBytes
+	fullBlocks := float64((full+m.cfg.FaultBlockBytes-1)/m.cfg.FaultBlockBytes) / 8
+	latency := m.cfg.FaultBatchLatencyNs / 8
+	last := r.NumChunks() - 1
+	cursor := t
+	for i := lo; i < hi; i++ {
+		m.touch(r, i)
+		size := full
+		blocks := fullBlocks
+		if i == last {
+			if rem := r.Size % full; rem != 0 {
+				size = rem
+				blocks = float64((size+m.cfg.FaultBlockBytes-1)/m.cfg.FaultBlockBytes) / 8
+			}
+		}
+		if !math.IsInf(r.arrival[i], 1) {
+			avail := cursor
+			if arr := r.arrival[i]; arr > cursor {
+				m.Stats.PageFaults++
+				m.Stats.FaultBatches++
+				wait := cursor + m.cfg.FaultBatchLatencyNs
+				if arr > wait {
+					wait = arr
+				}
+				if tr != nil {
+					tr.Instant(trace.UVMFaults, "fault_wait", cursor, trace.ChunkArgs(i, 0))
+					tr.Count("uvm.fault_batches", 1)
+				}
+				avail = wait
+			}
+			cursor = avail + float64(size)*computePerByte
+			continue
+		}
+		ready := cursor
+		if m.resident+size > m.capacity {
+			ready = m.makeRoom(cursor, size)
+		}
+		m.Stats.PageFaults += blocks
+		m.Stats.FaultBatches++
+		m.Stats.MigratedBytes += float64(size)
+		if tr != nil {
+			args := trace.ChunkArgs(i, size)
+			args.Batch = blocks
+			tr.Instant(trace.UVMFaults, "fault_batch", ready, args)
+			tr.Count("uvm.fault_batches", 1)
+			tr.Count("uvm.migrated_bytes", float64(size))
+		}
+		end := m.bus.MigrateOnDemand(ready+latency, size, 1)
+		m.hold(r, i, end, size)
+		cursor = end + float64(size)*computePerByte
+	}
+	return cursor
 }
 
 // PrefetchRegion issues cudaMemPrefetchAsync for the whole region at time
