@@ -14,6 +14,7 @@ import (
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/pcie"
 	"uvmasim/internal/sim"
+	"uvmasim/internal/store"
 	"uvmasim/internal/uvm"
 	"uvmasim/internal/workloads"
 )
@@ -260,6 +261,43 @@ func BenchmarkFigureSuite(b *testing.B) {
 		}
 		if _, err := r.BreakdownComparison(workloads.Micro(), workloads.Large); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreWarmHit measures the warm-hit path of the persistent
+// cell store in isolation: the store is populated once, then every b.N
+// iteration builds a fresh runner (fresh in-memory cache) and re-measures
+// the same cell, so each Measure resolves from disk instead of
+// simulating. Its ns/op is the committed baseline in BENCH_store.json;
+// CI fails if it regresses more than 3x (scripts/bench_store.sh).
+func BenchmarkStoreWarmHit(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workloads.Micro()[0]
+	seed := core.NewRunner()
+	seed.Iterations = 3
+	seed.Store = st
+	if _, err := seed.Measure(w, cuda.UVMPrefetch, workloads.Large); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner()
+		r.Iterations = 3
+		r.Store = st
+		res, err := r.Measure(w, cuda.UVMPrefetch, workloads.Large)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Breakdowns) == 0 {
+			b.Fatal("warm hit returned no breakdowns")
+		}
+		if r.StoreHits() != 1 {
+			b.Fatalf("cell simulated instead of hitting the store (hits=%d)", r.StoreHits())
 		}
 	}
 }

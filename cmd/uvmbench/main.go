@@ -19,6 +19,7 @@
 //	uvmbench list              workload inventory
 //	uvmbench profiles          hardware-profile inventory (list|show|dump)
 //	uvmbench compare-profiles  one workload across hardware profiles
+//	uvmbench merge             reassemble output from -shard artifacts
 //	uvmbench all               everything above
 //
 // Flags (before the subcommand): -i iterations (default 30), -seed,
@@ -30,7 +31,13 @@
 // comma-separated machines compare-profiles sweeps), -workload and
 // -setup (select the traced/compared run; an empty -setup traces all
 // five), -out (directory for trace files), -cpuprofile and -memprofile
-// (write pprof profiles covering the whole invocation).
+// (write pprof profiles covering the whole invocation), -cache-dir (the
+// persistent cell store: hits skip simulation, misses are written back,
+// so a warm rerun of any sweep costs file reads, not simulation), and
+// -shard i/n (run the i-th of n deterministic partitions of the cell
+// grid and print a mergeable shard artifact instead of normal output;
+// `uvmbench merge a.json b.json ...` over a complete partition prints
+// output byte-identical to the unsharded run).
 //
 // The trace subcommand writes one Chrome trace-event file per setup,
 // named trace_<workload>_<setup>.json, loadable in Perfetto or
@@ -53,6 +60,7 @@ import (
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/nearest"
 	"uvmasim/internal/profile"
+	"uvmasim/internal/store"
 	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
 )
@@ -67,29 +75,69 @@ func main() {
 // options carries the per-invocation settings dispatch needs beyond the
 // Runner itself.
 type options struct {
+	out       io.Writer // artifact destination (io.Discard in -shard mode)
+	sizeName  string    // raw -size value (recorded in shard specs)
 	sizeOr    func(def workloads.Size) (workloads.Size, error)
 	jobs      int
 	json      bool
 	workload  string
 	setupName string
 	outDir    string
-	profiles  string   // -profiles list for compare-profiles
-	rest      []string // arguments after the subcommand (profiles show/dump)
+	profiles  string            // -profiles list for compare-profiles
+	fixed     []profile.Profile // pre-resolved compare-profiles set (merge replay)
+	rest      []string          // arguments after the subcommand (profiles show/dump)
 }
 
 // emit prints either the text rendering or the JSON document, depending
 // on the -json flag.
 func (o *options) emit(text string, doc core.FigureDoc) error {
 	if !o.json {
-		fmt.Print(text)
+		fmt.Fprint(o.out, text)
 		return nil
 	}
 	s, err := core.RenderJSON(doc)
 	if err != nil {
 		return err
 	}
-	fmt.Print(s)
+	fmt.Fprint(o.out, s)
 	return nil
+}
+
+// commandNames lists every subcommand, for upfront validation (a typo in
+// `fig4,nope` must fail before fig4 spends seconds simulating).
+var commandNames = []string{
+	"list", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub", "trace",
+	"profiles", "compare-profiles", "merge", "all",
+}
+
+func knownCommand(cmd string) bool {
+	for _, c := range commandNames {
+		if c == cmd {
+			return true
+		}
+	}
+	return false
+}
+
+func containsCmd(cmds []string, want string) bool {
+	for _, c := range cmds {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// shardable reports whether a subcommand's cells can be partitioned.
+// Inventory listings and trace (whose artifact is a timeline, not cells)
+// cannot; merge is the consumer side of sharding.
+func shardable(cmd string) bool {
+	switch cmd {
+	case "trace", "list", "profiles", "merge":
+		return false
+	}
+	return true
 }
 
 func run(args []string) error {
@@ -113,9 +161,12 @@ func run(args []string) error {
 	profs := fs.String("profiles", "", "comma-separated profiles for compare-profiles (empty = all built-ins)")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+	cacheDir := fs.String("cache-dir", "", "directory of the persistent cell store (created if missing); cell hits skip simulation, misses are written back")
+	shard := fs.String("shard", "", "run one shard i/n of the cell grid and print a mergeable shard artifact instead of normal output")
 	usage := func(w io.Writer) {
 		fmt.Fprintln(w, "usage: uvmbench [flags] <subcommand>[,<subcommand>...]")
-		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles all")
+		fmt.Fprintln(w, "       uvmbench [flags] merge <shard.json> ...")
+		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles merge all")
 		fmt.Fprintln(w, "flags:")
 		fs.SetOutput(w)
 		fs.PrintDefaults()
@@ -140,6 +191,44 @@ func run(args []string) error {
 		return fmt.Errorf("-par must be >= 0, got %d", *par)
 	}
 
+	// Validate everything cheap before the first simulation: subcommand
+	// names, the shard spec, output paths, profile files, the cell-store
+	// directory. A typo in any of them must fail in milliseconds, not
+	// after a full sweep.
+	cmds := strings.Split(fs.Arg(0), ",")
+	for _, cmd := range cmds {
+		if !knownCommand(cmd) {
+			return fmt.Errorf("unknown subcommand %q%s", cmd, nearest.Hint(cmd, commandNames, 2))
+		}
+	}
+	if containsCmd(cmds, "merge") {
+		if len(cmds) != 1 {
+			return fmt.Errorf("merge cannot be combined with other subcommands")
+		}
+		if *shard != "" {
+			return fmt.Errorf("-shard does not apply to merge (it consumes shard artifacts)")
+		}
+		return runMerge(fs.Args()[1:], *par, *jsonOut, *cacheDir)
+	}
+	shardIdx, shardCnt := 0, 0
+	if *shard != "" {
+		var err error
+		shardIdx, shardCnt, err = parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		for _, cmd := range cmds {
+			if !shardable(cmd) {
+				return fmt.Errorf("subcommand %s cannot run sharded", cmd)
+			}
+		}
+	}
+	if containsCmd(cmds, "trace") {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("-out: %w", err)
+		}
+	}
+
 	p, err := profile.Resolve(*prof)
 	if err != nil {
 		return err
@@ -148,8 +237,17 @@ func run(args []string) error {
 	r.Iterations = *iters
 	r.BaseSeed = *seed
 	r.Parallelism = *par
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		r.Store = st
+	}
 
 	o := &options{
+		out:       os.Stdout,
+		sizeName:  *sizeName,
 		jobs:      *jobs,
 		json:      *jsonOut,
 		workload:  *workload,
@@ -158,11 +256,34 @@ func run(args []string) error {
 		profiles:  *profs,
 		rest:      fs.Args()[1:],
 	}
-	o.sizeOr = func(def workloads.Size) (workloads.Size, error) {
-		if *sizeName == "" {
-			return def, nil
+	o.sizeOr = sizeOrFunc(*sizeName)
+
+	var spec shardSpec
+	if shardCnt > 0 {
+		// Shard mode: normal output is suppressed (its cells are mostly
+		// placeholders); the run's product is the captured-cell artifact.
+		// The spec embeds everything merge needs to replay the run
+		// hermetically, the full resolved profile included.
+		r.ShardIndex, r.ShardCount = shardIdx, shardCnt
+		r.Capture = store.NewMem()
+		o.out = io.Discard
+		o.json = false
+		spec = shardSpec{
+			Commands: cmds,
+			Iters:    *iters,
+			Seed:     *seed,
+			Size:     *sizeName,
+			Jobs:     *jobs,
+			Workload: *workload,
+			Profile:  p,
 		}
-		return workloads.ParseSize(*sizeName)
+		if containsCmd(cmds, "compare-profiles") {
+			ps, err := resolveProfiles(*profs)
+			if err != nil {
+				return err
+			}
+			spec.Profiles = ps
+		}
 	}
 
 	stopProfiles, err := startProfiles(*cpuProf, *memProf)
@@ -170,22 +291,69 @@ func run(args []string) error {
 		return err
 	}
 
-	cmds := strings.Split(fs.Arg(0), ",")
 	for _, cmd := range cmds {
 		if err := dispatch(r, cmd, o); err != nil {
 			stopProfiles()
 			return err
 		}
 	}
+	if shardCnt > 0 {
+		if err := emitShardArtifact(os.Stdout, shardArtifact{
+			Schema:     store.SchemaVersion,
+			Spec:       spec,
+			ShardIndex: shardIdx,
+			ShardCount: shardCnt,
+			Cells:      r.Capture.Docs(),
+		}); err != nil {
+			stopProfiles()
+			return err
+		}
+	} else if containsCmd(cmds, "all") {
+		printCacheSummary(r, o)
+	}
 	return stopProfiles()
 }
 
+// sizeOrFunc builds the -size resolution closure: an empty override
+// keeps each subcommand's default class.
+func sizeOrFunc(name string) func(def workloads.Size) (workloads.Size, error) {
+	return func(def workloads.Size) (workloads.Size, error) {
+		if name == "" {
+			return def, nil
+		}
+		return workloads.ParseSize(name)
+	}
+}
+
+// printCacheSummary reports both cache tiers after an `all` run — to
+// stderr, so stdout artifacts stay byte-comparable between cold, warm,
+// and merged runs whose cache traffic necessarily differs.
+func printCacheSummary(r *core.Runner, o *options) {
+	if o.json {
+		doc := core.FigureDoc{Figure: "cache_summary", Data: struct {
+			MemoryHits   uint64 `json:"memory_hits"`
+			MemoryMisses uint64 `json:"memory_misses"`
+			StoreHits    uint64 `json:"store_hits"`
+			StoreMisses  uint64 `json:"store_misses"`
+		}{r.CacheHits(), r.CacheMisses(), r.StoreHits(), r.StoreMisses()}}
+		if s, err := core.RenderJSON(doc); err == nil {
+			fmt.Fprint(os.Stderr, s)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d memory misses; store: %d hits, %d misses\n",
+		r.CacheHits(), r.CacheMisses(), r.StoreHits(), r.StoreMisses())
+}
+
 // startProfiles begins CPU profiling and/or arms a heap snapshot,
-// covering every subcommand of the invocation. The returned stop
-// function finishes both files; it is also called (ignoring its error)
-// on the failure path so a partial CPU profile is still flushed.
+// covering every subcommand of the invocation. Both files are created
+// up front, so a mistyped path fails before any simulation runs — the
+// heap snapshot itself is still taken at stop time, after the run. The
+// returned stop function finishes both files; it is also called
+// (ignoring its error) on the failure path so a partial CPU profile is
+// still flushed.
 func startProfiles(cpuPath, memPath string) (func() error, error) {
-	var cpuFile *os.File
+	var cpuFile, memFile *os.File
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
@@ -196,6 +364,17 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 			return nil, err
 		}
 		cpuFile = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		memFile = f
 	}
 	stopped := false
 	return func() error {
@@ -209,19 +388,15 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 				return err
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return err
-			}
+		if memFile != nil {
 			// Collect garbage first so the snapshot shows live retained
 			// memory (the arenas), not yet-unswept iteration garbage.
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				memFile.Close()
 				return err
 			}
-			return f.Close()
+			return memFile.Close()
 		}
 		return nil
 	}, nil
@@ -259,13 +434,13 @@ func flagError(fs *flag.FlagSet, err error) error {
 func dispatch(r *core.Runner, cmd string, o *options) error {
 	switch cmd {
 	case "list":
-		fmt.Println("microbenchmarks:")
+		fmt.Fprintln(o.out, "microbenchmarks:")
 		for _, w := range workloads.Micro() {
-			fmt.Printf("  %-12s %s\n", w.Name(), w.Domain())
+			fmt.Fprintf(o.out, "  %-12s %s\n", w.Name(), w.Domain())
 		}
-		fmt.Println("applications:")
+		fmt.Fprintln(o.out, "applications:")
 		for _, w := range workloads.Apps() {
-			fmt.Printf("  %-12s %s\n", w.Name(), w.Domain())
+			fmt.Fprintf(o.out, "  %-12s %s\n", w.Name(), w.Domain())
 		}
 		return nil
 
@@ -278,7 +453,7 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 			return fmt.Errorf("%s: no size class fits the active profile's memory", cmd)
 		}
 		if !o.json && len(sizes) < len(workloads.AllSizes) {
-			fmt.Printf("note: %d of %d size classes fit this profile's memory; larger classes dropped\n",
+			fmt.Fprintf(o.out, "note: %d of %d size classes fit this profile's memory; larger classes dropped\n",
 				len(sizes), len(workloads.AllSizes))
 		}
 		study, err := r.Distributions(workloads.Micro(), sizes)
@@ -313,9 +488,12 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		if err != nil {
 			return err
 		}
-		ps, err := resolveProfiles(o.profiles)
-		if err != nil {
-			return err
+		ps := o.fixed
+		if ps == nil {
+			ps, err = resolveProfiles(o.profiles)
+			if err != nil {
+				return err
+			}
 		}
 		study, err := r.CompareProfiles(ps, o.workload, size)
 		if err != nil {
@@ -445,13 +623,13 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		for _, sub := range []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8",
 			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "oversub"} {
 			if !o.json {
-				fmt.Printf("==== %s ====\n", sub)
+				fmt.Fprintf(o.out, "==== %s ====\n", sub)
 			}
 			if err := dispatch(r, sub, o); err != nil {
 				return err
 			}
 			if !o.json {
-				fmt.Println()
+				fmt.Fprintln(o.out)
 			}
 		}
 		return nil
@@ -483,7 +661,7 @@ func runProfiles(o *options) error {
 			if p.Name == profile.DefaultName {
 				def = " (default)"
 			}
-			fmt.Printf("%-18s %s  %s%s\n", p.Name, p.Fingerprint(), p.Description, def)
+			fmt.Fprintf(o.out, "%-18s %s  %s%s\n", p.Name, p.Fingerprint(), p.Description, def)
 		}
 		return nil
 	}
@@ -498,10 +676,10 @@ func runProfiles(o *options) error {
 			return err
 		}
 		if verb == "show" {
-			fmt.Print(p.Describe())
+			fmt.Fprint(o.out, p.Describe())
 			return nil
 		}
-		return profile.Save(os.Stdout, p)
+		return profile.Save(o.out, p)
 	}
 	return fmt.Errorf("unknown profiles verb %q (expected list, show or dump)%s",
 		verb, nearest.Hint(verb, []string{"list", "show", "dump"}, 2))
@@ -590,14 +768,14 @@ func runTrace(r *core.Runner, o *options) error {
 			}{res.Workload, res.Setup, res.Size, path, res.Tracer.Len(), busy})
 			continue
 		}
-		fmt.Printf("wrote %s (%d events)\n", path, res.Tracer.Len())
+		fmt.Fprintf(o.out, "wrote %s (%d events)\n", path, res.Tracer.Len())
 		for t := 0; t < trace.NumTracks; t++ {
 			tk := trace.Track(t)
 			tm := m.Tracks[t]
 			if tm.Spans == 0 && tm.Instants == 0 {
 				continue
 			}
-			fmt.Printf("  %-16s busy %12.2f ms  spans %5d  instants %5d\n",
+			fmt.Fprintf(o.out, "  %-16s busy %12.2f ms  spans %5d  instants %5d\n",
 				tk, tm.Busy/1e6, tm.Spans, tm.Instants)
 		}
 	}
@@ -606,7 +784,7 @@ func runTrace(r *core.Runner, o *options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(s)
+		fmt.Fprint(o.out, s)
 	}
 	return nil
 }

@@ -45,7 +45,9 @@ func TestCommaSeparatedCommands(t *testing.T) {
 }
 
 // capture runs the CLI with stdout redirected and returns what it
-// printed.
+// printed. The pipe is drained concurrently, so outputs larger than the
+// kernel pipe buffer (full -json dumps, shard artifacts) cannot
+// deadlock the writer.
 func capture(t *testing.T, args ...string) string {
 	t.Helper()
 	old := os.Stdout
@@ -53,19 +55,28 @@ func capture(t *testing.T, args ...string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	type readResult struct {
+		out []byte
+		err error
+	}
+	done := make(chan readResult, 1)
+	go func() {
+		out, err := io.ReadAll(rp)
+		rp.Close()
+		done <- readResult{out, err}
+	}()
 	os.Stdout = wp
 	runErr := run(args)
 	wp.Close()
 	os.Stdout = old
-	out, readErr := io.ReadAll(rp)
-	rp.Close()
+	res := <-done
 	if runErr != nil {
 		t.Fatal(runErr)
 	}
-	if readErr != nil {
-		t.Fatal(readErr)
+	if res.err != nil {
+		t.Fatal(res.err)
 	}
-	return string(out)
+	return string(res.out)
 }
 
 // TestParFlag covers the executor flag end to end: -par 1 (legacy serial

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestPprofFlags runs a subcommand with -cpuprofile and -memprofile and
@@ -29,10 +30,27 @@ func TestPprofFlags(t *testing.T) {
 }
 
 // TestPprofFlagErrors pins the failure modes: an unwritable profile path
-// fails up front, before any simulation runs.
+// fails up front, before any simulation runs — for the heap profile too,
+// even though its snapshot is only taken after the run. The huge -i
+// makes these hang if creation regresses to run-end; the deadline
+// catches that.
 func TestPprofFlagErrors(t *testing.T) {
-	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")
-	if err := run([]string{"-i", "1", "-cpuprofile", bad, "fig12"}); err == nil {
-		t.Error("unwritable -cpuprofile path should error")
+	cases := map[string][]string{
+		"cpuprofile": {"-i", "100000", "-cpuprofile",
+			filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof"), "fig12"},
+		"memprofile": {"-i", "100000", "-memprofile",
+			filepath.Join(t.TempDir(), "no", "such", "dir", "mem.prof"), "fig12"},
+	}
+	for name, args := range cases {
+		done := make(chan error, 1)
+		go func() { done <- run(args) }()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("unwritable -%s path should error", name)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("-%s: bad path did not fail before the run", name)
+		}
 	}
 }

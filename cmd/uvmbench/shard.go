@@ -1,0 +1,195 @@
+package main
+
+// Shard artifacts are the fan-out half of the cell store: `-shard i/n`
+// runs only the cells whose key hash lands in shard i, captures them as
+// portable cell documents, and prints them with the full run spec;
+// `merge` over a complete partition preloads the cells into an in-memory
+// store and replays the run, which renders byte-identical output to the
+// unsharded invocation (every cell is a store hit, and store payloads
+// round-trip float64s exactly). The partition is keyed on content
+// hashes, so it is stable across machines and -par settings, and shard
+// artifacts are themselves deterministic: cells serialize sorted by
+// canonical key.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"uvmasim/internal/core"
+	"uvmasim/internal/profile"
+	"uvmasim/internal/store"
+)
+
+// shardSpec pins everything that determines the cell grid of a sharded
+// run, so merge can replay it hermetically: the subcommand list, the
+// runner settings, and the fully resolved hardware profile(s) — a merge
+// machine does not need the producer's profile files.
+type shardSpec struct {
+	Commands []string          `json:"commands"`
+	Iters    int               `json:"iters"`
+	Seed     int64             `json:"seed"`
+	Size     string            `json:"size,omitempty"`
+	Jobs     int               `json:"jobs"`
+	Workload string            `json:"workload"`
+	Profile  profile.Profile   `json:"profile"`
+	Profiles []profile.Profile `json:"profiles,omitempty"`
+}
+
+// shardArtifact is the printed product of a -shard run.
+type shardArtifact struct {
+	Schema     int             `json:"schema"`
+	Spec       shardSpec       `json:"spec"`
+	ShardIndex int             `json:"shard_index"`
+	ShardCount int             `json:"shard_count"`
+	Cells      []store.CellDoc `json:"cells"`
+}
+
+// parseShard parses the -shard flag's "i/n" form (1-based index).
+func parseShard(s string) (idx, count int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(i)
+		if err == nil {
+			count, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard must be i/n (e.g. 2/3), got %q", s)
+	}
+	if count < 1 || idx < 1 || idx > count {
+		return 0, 0, fmt.Errorf("-shard index out of range: %d/%d needs 1 <= i <= n", idx, count)
+	}
+	return idx, count, nil
+}
+
+// emitShardArtifact prints the artifact as indented JSON. The encoding
+// is deterministic (sorted cells, fixed field order), so artifacts from
+// the same shard are byte-identical at any -par.
+func emitShardArtifact(w io.Writer, art shardArtifact) error {
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// runMerge implements the merge subcommand: validate that the given
+// artifacts form one complete partition of one run, preload their cells
+// into an in-memory store, and replay the recorded subcommands against
+// it. Cells all hit the store, so the merge simulates nothing — and if
+// an artifact were somehow missing a cell, the replay would recompute
+// it, yielding the same bytes (cells are pure functions of their keys).
+func runMerge(files []string, par int, jsonOut bool, cacheDir string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: uvmbench merge <shard.json> ...")
+	}
+	arts := make([]shardArtifact, len(files))
+	var specJSON []byte
+	for i, path := range files {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &arts[i]); err != nil {
+			return fmt.Errorf("%s: not a shard artifact: %w", path, err)
+		}
+		if arts[i].Schema != store.SchemaVersion {
+			return fmt.Errorf("%s: artifact schema v%d, this build reads v%d",
+				path, arts[i].Schema, store.SchemaVersion)
+		}
+		sj, err := json.Marshal(arts[i].Spec)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			specJSON = sj
+		} else if !bytes.Equal(sj, specJSON) {
+			return fmt.Errorf("%s: produced by a different run spec than %s", path, files[0])
+		}
+	}
+	n := arts[0].ShardCount
+	byIndex := make([]string, n+1)
+	for i, art := range arts {
+		if art.ShardCount != n {
+			return fmt.Errorf("%s: shard count %d, expected %d", files[i], art.ShardCount, n)
+		}
+		if art.ShardIndex < 1 || art.ShardIndex > n {
+			return fmt.Errorf("%s: shard index %d out of 1..%d", files[i], art.ShardIndex, n)
+		}
+		if byIndex[art.ShardIndex] != "" {
+			return fmt.Errorf("%s and %s are both shard %d/%d",
+				byIndex[art.ShardIndex], files[i], art.ShardIndex, n)
+		}
+		byIndex[art.ShardIndex] = files[i]
+	}
+	for i := 1; i <= n; i++ {
+		if byIndex[i] == "" {
+			return fmt.Errorf("incomplete partition: shard %d/%d missing", i, n)
+		}
+	}
+
+	spec := arts[0].Spec
+	if err := spec.Profile.Validate(); err != nil {
+		return fmt.Errorf("%s: embedded profile: %w", files[0], err)
+	}
+	for _, p := range spec.Profiles {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%s: embedded profile: %w", files[0], err)
+		}
+	}
+
+	mem := store.NewMem()
+	for _, art := range arts {
+		for _, doc := range art.Cells {
+			if err := mem.Put(doc.Key, doc); err != nil {
+				return err
+			}
+		}
+	}
+
+	r := core.NewRunnerFor(spec.Profile)
+	r.Iterations = spec.Iters
+	r.BaseSeed = spec.Seed
+	r.Parallelism = par
+	r.Store = mem
+	if cacheDir != "" {
+		// Also persist the merged cells, so the union of shard runs
+		// leaves behind the same warm store a single-shot -cache-dir run
+		// would have.
+		dir, err := store.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		for _, doc := range mem.Docs() {
+			if err := dir.Put(doc.Key, doc); err != nil {
+				return err
+			}
+		}
+		r.Store = store.NewTiered(mem, dir)
+	}
+
+	o := &options{
+		out:      os.Stdout,
+		json:     jsonOut,
+		sizeName: spec.Size,
+		jobs:     spec.Jobs,
+		workload: spec.Workload,
+		fixed:    spec.Profiles,
+	}
+	o.sizeOr = sizeOrFunc(spec.Size)
+	for _, cmd := range spec.Commands {
+		if err := dispatch(r, cmd, o); err != nil {
+			return err
+		}
+	}
+	if containsCmd(spec.Commands, "all") {
+		printCacheSummary(r, o)
+	}
+	return nil
+}

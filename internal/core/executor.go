@@ -201,6 +201,12 @@ type cellCache struct {
 	m      map[cellKey]*cellEntry
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// Store-tier traffic: of the in-memory misses, how many were served
+	// from the persistent store vs actually simulated. Kept here (not on
+	// the Runner) because Runners are value-copied by derived studies and
+	// the whole family shares one cache.
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
 }
 
 func newCellCache() *cellCache {
@@ -244,7 +250,48 @@ func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, comp
 		seed:  r.BaseSeed,
 		fp:    profile.Fingerprint(r.Config),
 	}
-	return r.cache.do(key, compute)
+	// Shard filter: a runner that does not own this cell returns a zero
+	// placeholder without simulating (and without touching cache
+	// statistics). Placeholder Results keep every study's bookkeeping
+	// shape-correct; their rendered output is discarded in shard mode.
+	if r.ShardCount > 1 {
+		idx := r.ShardIndex
+		if idx < 1 {
+			idx = 1
+		}
+		if storeKeyOf(key).Hash()%uint64(r.ShardCount) != uint64(idx-1) {
+			return Result{
+				Workload:   kind,
+				Setup:      setup,
+				Size:       size,
+				Breakdowns: make([]cuda.Breakdown, r.iters()),
+			}, nil
+		}
+	}
+	if r.Store == nil && r.Capture == nil {
+		return r.cache.do(key, compute)
+	}
+	skey := storeKeyOf(key)
+	res, err := r.cache.do(key, func() (Result, error) {
+		if r.Store != nil {
+			if doc, ok := r.Store.Get(skey); ok {
+				r.cache.storeHits.Add(1)
+				return resultFromDoc(key, doc), nil
+			}
+			r.cache.storeMisses.Add(1)
+		}
+		res, err := compute()
+		if err == nil && r.Store != nil {
+			// Best-effort write-back: a failed Put costs a future
+			// recompute, never a wrong result.
+			_ = r.Store.Put(skey, docFromResult(skey, res))
+		}
+		return res, err
+	})
+	if err == nil && r.Capture != nil {
+		_ = r.Capture.Put(skey, docFromResult(skey, res))
+	}
+	return res, err
 }
 
 // CacheHits reports how many cell computations were satisfied from the
@@ -257,10 +304,31 @@ func (r *Runner) CacheHits() uint64 {
 	return r.cache.hits.Load()
 }
 
-// CacheMisses reports how many cell computations ran the simulator.
+// CacheMisses reports how many cell computations missed the in-memory
+// cache (and so consulted the persistent store, when one is attached,
+// before simulating).
 func (r *Runner) CacheMisses() uint64 {
 	if r.cache == nil {
 		return 0
 	}
 	return r.cache.misses.Load()
+}
+
+// StoreHits reports how many in-memory misses were served from the
+// persistent cell store instead of the simulator.
+func (r *Runner) StoreHits() uint64 {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.storeHits.Load()
+}
+
+// StoreMisses reports how many in-memory misses also missed the
+// persistent store and actually ran the simulator. With no store
+// attached this stays 0 (every memory miss simulates directly).
+func (r *Runner) StoreMisses() uint64 {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.storeMisses.Load()
 }

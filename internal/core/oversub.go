@@ -6,6 +6,7 @@ import (
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/gpu"
 	"uvmasim/internal/kernels"
+	"uvmasim/internal/workloads"
 )
 
 // Oversubscription extends the paper's study in the direction its
@@ -53,36 +54,24 @@ func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int
 	err := r.forEach(len(ratios), func(i int) error {
 		ratio := ratios[i]
 		footprint := int64(ratio * float64(capacity))
-		ctx := r.acquireCtx(setup, r.BaseSeed)
-		defer r.releaseCtx(ctx)
-		buf, err := ctx.Alloc("oversub", footprint)
+		// Each point is one cacheable cell: %g round-trips the ratio
+		// exactly, the footprint follows from ratio and the profile
+		// (which keys the cache via its fingerprint), so equal kinds
+		// mean equal cells across runs, shards and machines.
+		res, err := r.cached(fmt.Sprintf("oversub:%g:%d", ratio, passes), setup, workloads.Tiny,
+			func() (Result, error) { return r.oversubCell(setup, footprint, passes) })
 		if err != nil {
 			return err
 		}
-		n := footprint / 4
-		spec := kernels.Stream("oversub_pass", n, 1, 1, 8, 4, gpu.Sequential)
-		for p := 0; p < passes; p++ {
-			if err := ctx.Launch(cuda.Launch{
-				Spec:   spec,
-				Reads:  []*cuda.Buffer{buf},
-				Writes: []*cuda.Buffer{buf},
-			}); err != nil {
-				return err
-			}
-		}
-		ctx.Synchronize()
-		if err := ctx.Free(buf); err != nil {
-			return err
-		}
-		b := ctx.Breakdown()
+		b := res.Breakdowns[0]
 		roi := b.Total - b.Overhead
 		study.Points[i] = OversubPoint{
 			Ratio:        ratio,
 			Footprint:    footprint,
 			Total:        b.Total,
 			BytesPerNs:   float64(footprint*int64(passes)) / roi,
-			EvictedBytes: ctx.Counters().UVM.EvictedBytes,
-			PageFaults:   ctx.Counters().UVM.PageFaults,
+			EvictedBytes: res.Counters.UVM.EvictedBytes,
+			PageFaults:   res.Counters.UVM.PageFaults,
 		}
 		return nil
 	})
@@ -90,6 +79,41 @@ func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int
 		return nil, err
 	}
 	return study, nil
+}
+
+// oversubCell simulates one oversubscription point: `passes` streaming
+// sweeps over a single buffer of the given footprint. The Result carries
+// exactly one Breakdown (the run's) plus the final counters, which is
+// all the study derives its point from.
+func (r *Runner) oversubCell(setup cuda.Setup, footprint int64, passes int) (Result, error) {
+	ctx := r.acquireCtx(setup, r.BaseSeed)
+	defer r.releaseCtx(ctx)
+	buf, err := ctx.Alloc("oversub", footprint)
+	if err != nil {
+		return Result{}, err
+	}
+	n := footprint / 4
+	spec := kernels.Stream("oversub_pass", n, 1, 1, 8, 4, gpu.Sequential)
+	for p := 0; p < passes; p++ {
+		if err := ctx.Launch(cuda.Launch{
+			Spec:   spec,
+			Reads:  []*cuda.Buffer{buf},
+			Writes: []*cuda.Buffer{buf},
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	ctx.Synchronize()
+	if err := ctx.Free(buf); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Workload:   "oversub",
+		Setup:      setup,
+		Size:       workloads.Tiny,
+		Breakdowns: []cuda.Breakdown{ctx.Breakdown()},
+		Counters:   *ctx.Counters(),
+	}, nil
 }
 
 // Render prints the oversubscription sweep.

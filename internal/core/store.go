@@ -1,0 +1,124 @@
+package core
+
+import (
+	"uvmasim/internal/counters"
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/store"
+)
+
+// This file is the bridge between the harness's in-memory cell cache and
+// the persistent content-addressed store (internal/store): it flattens
+// the typed cellKey into the store's self-describing string key and
+// converts Results to and from cell documents. Both conversions are
+// exact — every payload field is a float64 carried verbatim — so a
+// replayed cell renders byte-identically to a simulated one.
+
+// CellStore is the persistence interface a Runner accepts in its Store
+// field (an alias of store.Store, re-exported so cmd code can depend on
+// core alone for the common case).
+type CellStore = store.Store
+
+// storeKeyOf flattens a cellKey into the store's address form. Enums
+// become their canonical names (cuda.ParseSetup / workloads.ParseSize
+// round-trip them), so a store key is meaningful outside this process.
+func storeKeyOf(key cellKey) store.Key {
+	return store.Key{
+		Kind:      key.kind,
+		Setup:     key.setup.String(),
+		Size:      key.size.String(),
+		Iters:     key.iters,
+		Seed:      key.seed,
+		ProfileFP: key.fp,
+	}
+}
+
+// docFromResult converts a measured Result into its cell document.
+func docFromResult(skey store.Key, res Result) store.CellDoc {
+	doc := store.CellDoc{
+		Schema:     store.SchemaVersion,
+		Key:        skey,
+		Workload:   res.Workload,
+		Breakdowns: make([]store.Breakdown, len(res.Breakdowns)),
+	}
+	for i, b := range res.Breakdowns {
+		doc.Breakdowns[i] = store.Breakdown{
+			AllocNs:    b.Alloc,
+			MemcpyNs:   b.Memcpy,
+			KernelNs:   b.Kernel,
+			OverheadNs: b.Overhead,
+			TotalNs:    b.Total,
+		}
+	}
+	c := res.Counters
+	integral, busy := c.OccupancyState()
+	doc.Counters = store.Counters{
+		MemInst:  c.Inst.Mem,
+		FPInst:   c.Inst.FP,
+		IntInst:  c.Inst.Int,
+		CtrlInst: c.Inst.Ctrl,
+
+		L1LoadAccesses:  c.L1.LoadAccesses,
+		L1LoadMisses:    c.L1.LoadMisses,
+		L1StoreAccesses: c.L1.StoreAccesses,
+		L1StoreMisses:   c.L1.StoreMisses,
+
+		PageFaults:     c.UVM.PageFaults,
+		FaultBatches:   c.UVM.FaultBatches,
+		MigratedBytes:  c.UVM.MigratedBytes,
+		PrefetchBytes:  c.UVM.PrefetchBytes,
+		WritebackBytes: c.UVM.WritebackBytes,
+		EvictedBytes:   c.UVM.EvictedBytes,
+		Evictions:      c.UVM.Evictions,
+
+		H2DBytes: c.H2DBytes,
+		D2HBytes: c.D2HBytes,
+
+		OccupancyIntegral: integral,
+		KernelBusyNs:      busy,
+	}
+	return doc
+}
+
+// resultFromDoc rebuilds the Result a stored cell document was captured
+// from. The typed setup and size come from the in-process cellKey (they
+// already matched the document's address for it to be served).
+func resultFromDoc(key cellKey, doc store.CellDoc) Result {
+	res := Result{
+		Workload:   doc.Workload,
+		Setup:      key.setup,
+		Size:       key.size,
+		Breakdowns: make([]cuda.Breakdown, len(doc.Breakdowns)),
+	}
+	for i, b := range doc.Breakdowns {
+		res.Breakdowns[i] = cuda.Breakdown{
+			Alloc:    b.AllocNs,
+			Memcpy:   b.MemcpyNs,
+			Kernel:   b.KernelNs,
+			Overhead: b.OverheadNs,
+			Total:    b.TotalNs,
+		}
+	}
+	d := doc.Counters
+	var c counters.Set
+	c.Inst = counters.InstMix{Mem: d.MemInst, FP: d.FPInst, Int: d.IntInst, Ctrl: d.CtrlInst}
+	c.L1 = counters.L1Stats{
+		LoadAccesses:  d.L1LoadAccesses,
+		LoadMisses:    d.L1LoadMisses,
+		StoreAccesses: d.L1StoreAccesses,
+		StoreMisses:   d.L1StoreMisses,
+	}
+	c.UVM = counters.UVMStats{
+		PageFaults:     d.PageFaults,
+		FaultBatches:   d.FaultBatches,
+		MigratedBytes:  d.MigratedBytes,
+		PrefetchBytes:  d.PrefetchBytes,
+		WritebackBytes: d.WritebackBytes,
+		EvictedBytes:   d.EvictedBytes,
+		Evictions:      d.Evictions,
+	}
+	c.H2DBytes = d.H2DBytes
+	c.D2HBytes = d.D2HBytes
+	c.SetOccupancyState(d.OccupancyIntegral, d.KernelBusyNs)
+	res.Counters = c
+	return res
+}

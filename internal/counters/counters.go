@@ -131,5 +131,17 @@ func (s *Set) Occupancy() float64 {
 // KernelBusy returns the summed kernel execution time.
 func (s *Set) KernelBusy() float64 { return s.kernelBusy }
 
+// OccupancyState exposes the raw occupancy accumulators so a Set can be
+// persisted and restored exactly (the cell store round-trips them).
+func (s *Set) OccupancyState() (integral, busy float64) {
+	return s.occupancyIntegral, s.kernelBusy
+}
+
+// SetOccupancyState restores accumulators captured by OccupancyState.
+func (s *Set) SetOccupancyState(integral, busy float64) {
+	s.occupancyIntegral = integral
+	s.kernelBusy = busy
+}
+
 // Reset zeroes the set for reuse.
 func (s *Set) Reset() { *s = Set{} }

@@ -1,0 +1,138 @@
+#!/usr/bin/env sh
+# bench_store.sh — measure the persistent cell store: a timed cold vs
+# warm 1-core `uvmbench all -cache-dir` pair plus the isolated warm-hit
+# benchmark, and emit/check a machine-readable baseline.
+#
+#   scripts/bench_store.sh write [out.json]
+#       Run the measurements and write the JSON baseline (default
+#       BENCH_store.json). Commit the result to refresh the baseline.
+#
+#   scripts/bench_store.sh check [baseline.json]
+#       Run the measurements, write BENCH_store_current.json next to the
+#       baseline for artifact upload, and fail if BenchmarkStoreWarmHit's
+#       ns/op exceeds 3x its committed baseline, the warm `uvmbench all
+#       -cache-dir` wall time exceeds 2x its baseline, or the cold/warm
+#       speedup drops below the absolute 5x floor the store promises.
+#
+# BENCHTIME overrides the per-benchmark iteration count (default 100x;
+# one warm hit is microseconds, so a few iterations average out syscall
+# jitter without measuring noise).
+set -eu
+
+mode="${1:-write}"
+baseline="${2:-BENCH_store.json}"
+benchtime="${BENCHTIME:-100x}"
+
+cd "$(dirname "$0")/.."
+
+run_bench() {
+    bin="$(mktemp -d)/uvmbench"
+    cache="$(mktemp -d)/cellstore"
+    go build -o "$bin" ./cmd/uvmbench
+
+    start=$(date +%s.%N)
+    GOMAXPROCS=1 "$bin" -cache-dir "$cache" all > /dev/null 2> /dev/null
+    end=$(date +%s.%N)
+    cold=$(awk "BEGIN { printf \"%.3f\", $end - $start }")
+
+    start=$(date +%s.%N)
+    GOMAXPROCS=1 "$bin" -cache-dir "$cache" all > /dev/null 2> /dev/null
+    end=$(date +%s.%N)
+    warm=$(awk "BEGIN { printf \"%.3f\", $end - $start }")
+
+    rm -rf "$(dirname "$bin")" "$(dirname "$cache")"
+
+    go test -run '^$' -bench 'BenchmarkStoreWarmHit$' \
+        -benchtime "$benchtime" -benchmem . |
+        awk -v cold="$cold" -v warm="$warm" '
+            /^Benchmark/ {
+                name = $1
+                sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+                ns = ""; allocs = ""
+                for (i = 2; i <= NF; i++) {
+                    if ($i == "ns/op") ns = $(i-1)
+                    if ($i == "allocs/op") allocs = $(i-1)
+                }
+                if (ns == "") next
+                if (out != "") out = out ","
+                out = out sprintf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? 0 : allocs)
+            }
+            END {
+                printf "{\n  \"benchmarks\": [%s\n  ],\n", out
+                printf "  \"uvmbench_all_cold_wall_seconds\": %s,\n", cold
+                printf "  \"uvmbench_all_warm_wall_seconds\": %s,\n", warm
+                printf "  \"warm_speedup\": %.1f\n}\n", cold / warm
+            }
+        '
+}
+
+case "$mode" in
+write)
+    run_bench > "$baseline"
+    echo "wrote $baseline:"
+    cat "$baseline"
+    ;;
+check)
+    current="${baseline%.json}_current.json"
+    run_bench > "$current"
+    echo "current results ($current):"
+    cat "$current"
+    python3 - "$baseline" "$current" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+NS_LIMIT = 3.0
+ALLOC_LIMIT = 2.0
+WALL_LIMIT = 2.0
+SPEEDUP_FLOOR = 5.0
+failed = False
+
+base_b = {b["name"]: b for b in base["benchmarks"]}
+cur_b = {b["name"]: b for b in cur["benchmarks"]}
+for name, b in base_b.items():
+    c = cur_b.get(name)
+    if c is None:
+        print(f"FAIL {name}: benchmark missing from current run")
+        failed = True
+        continue
+    ratio = c["ns_per_op"] / b["ns_per_op"]
+    status = "ok  "
+    if ratio > NS_LIMIT:
+        status, failed = "FAIL", True
+    print(f"{status} {name}: {c['ns_per_op']:.0f} ns/op vs baseline "
+          f"{b['ns_per_op']:.0f} ({ratio:.2f}x, limit {NS_LIMIT}x)")
+    if b.get("allocs_per_op"):
+        aratio = c["allocs_per_op"] / b["allocs_per_op"]
+        status = "ok  "
+        if aratio > ALLOC_LIMIT:
+            status, failed = "FAIL", True
+        print(f"{status} {name}: {c['allocs_per_op']} allocs/op vs baseline "
+              f"{b['allocs_per_op']} ({aratio:.2f}x, limit {ALLOC_LIMIT}x)")
+
+wratio = cur["uvmbench_all_warm_wall_seconds"] / base["uvmbench_all_warm_wall_seconds"]
+status = "ok  "
+if wratio > WALL_LIMIT:
+    status, failed = "FAIL", True
+print(f"{status} warm uvmbench all -cache-dir (1 core): "
+      f"{cur['uvmbench_all_warm_wall_seconds']:.2f}s vs baseline "
+      f"{base['uvmbench_all_warm_wall_seconds']:.2f}s ({wratio:.2f}x, limit {WALL_LIMIT}x)")
+
+speedup = cur["uvmbench_all_cold_wall_seconds"] / cur["uvmbench_all_warm_wall_seconds"]
+status = "ok  "
+if speedup < SPEEDUP_FLOOR:
+    status, failed = "FAIL", True
+print(f"{status} cold/warm speedup: {speedup:.1f}x "
+      f"(cold {cur['uvmbench_all_cold_wall_seconds']:.2f}s, "
+      f"warm {cur['uvmbench_all_warm_wall_seconds']:.2f}s, floor {SPEEDUP_FLOOR}x)")
+sys.exit(1 if failed else 0)
+EOF
+    ;;
+*)
+    echo "usage: $0 write|check [baseline.json]" >&2
+    exit 2
+    ;;
+esac
