@@ -7,12 +7,18 @@ package uvmasim_test
 // the reproduction's numbers next to the harness cost.
 
 import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/counters"
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/pcie"
+	"uvmasim/internal/serve"
 	"uvmasim/internal/sim"
 	"uvmasim/internal/store"
 	"uvmasim/internal/uvm"
@@ -393,5 +399,48 @@ func BenchmarkWorkloads(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeWarmHit measures the serve fast path end to end: a
+// store-backed server handles a POST /v1/experiments whose cells are all
+// warm in the persistent store, so the request costs spec validation,
+// file reads and JSON rendering — no simulation. Every b.N iteration
+// boots a fresh server (fresh in-memory cache, fresh registry) against
+// the same store directory, modelling the restarted-process warm path.
+// Its ns/op is the committed baseline in BENCH_serve.json; CI fails if
+// it regresses more than 3x (scripts/bench_serve.sh).
+func BenchmarkServeWarmHit(b *testing.B) {
+	dirPath := b.TempDir()
+	const spec = `{"figure":"fig6","iters":3}`
+	post := func(s *serve.Server) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/experiments", strings.NewReader(spec))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("POST status %d: %s", w.Code, w.Body.String())
+		}
+		return w
+	}
+	open := func() *store.Dir {
+		d, err := store.Open(dirPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	quiet := log.New(io.Discard, "", 0)
+	cold := serve.New(serve.Config{Store: open(), StoreDir: dirPath, Log: quiet})
+	want := post(cold).Body.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := serve.New(serve.Config{Store: open(), StoreDir: dirPath, Log: quiet})
+		if got := post(s).Body.String(); got != want {
+			b.Fatal("warm response diverges from cold response")
+		}
+		if s.Registry().Counter("uvmbench_store_hits_total", "").Value() == 0 {
+			b.Fatal("request simulated instead of hitting the store")
+		}
 	}
 }

@@ -20,6 +20,7 @@
 //	uvmbench profiles          hardware-profile inventory (list|show|dump)
 //	uvmbench compare-profiles  one workload across hardware profiles
 //	uvmbench merge             reassemble output from -shard artifacts
+//	uvmbench serve             experiment HTTP service with /metrics
 //	uvmbench all               everything above
 //
 // Flags (before the subcommand): -i iterations (default 30), -seed,
@@ -38,6 +39,14 @@
 // grid and print a mergeable shard artifact instead of normal output;
 // `uvmbench merge a.json b.json ...` over a complete partition prints
 // output byte-identical to the unsharded run).
+//
+// The serve subcommand runs the experiment service (internal/serve):
+// POST /v1/experiments computes figures (responses byte-identical to
+// -json output for the same spec), /metrics exposes the Prometheus
+// registry, /healthz reports readiness, /debug/pprof/ serves profiles.
+// It honors -addr, -max-inflight, -par, -cache-dir and -profile (the
+// default machine for specs that name none) and drains gracefully on
+// SIGTERM.
 //
 // The trace subcommand writes one Chrome trace-event file per setup,
 // named trace_<workload>_<setup>.json, loadable in Perfetto or
@@ -58,8 +67,10 @@ import (
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/metrics"
 	"uvmasim/internal/nearest"
 	"uvmasim/internal/profile"
+	"uvmasim/internal/serve"
 	"uvmasim/internal/store"
 	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
@@ -86,6 +97,11 @@ type options struct {
 	profiles  string            // -profiles list for compare-profiles
 	fixed     []profile.Profile // pre-resolved compare-profiles set (merge replay)
 	rest      []string          // arguments after the subcommand (profiles show/dump)
+	// reg is the invocation's metrics registry (nil in merge replay);
+	// traceTotals accumulates the trace subcommand's counter-registry
+	// totals. Both feed the cache-summary JSON doc.
+	reg         *metrics.Registry
+	traceTotals map[string]float64
 }
 
 // emit prints either the text rendering or the JSON document, depending
@@ -108,7 +124,7 @@ func (o *options) emit(text string, doc core.FigureDoc) error {
 var commandNames = []string{
 	"list", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub", "trace",
-	"profiles", "compare-profiles", "merge", "all",
+	"profiles", "compare-profiles", "merge", "serve", "all",
 }
 
 func knownCommand(cmd string) bool {
@@ -134,7 +150,7 @@ func containsCmd(cmds []string, want string) bool {
 // cannot; merge is the consumer side of sharding.
 func shardable(cmd string) bool {
 	switch cmd {
-	case "trace", "list", "profiles", "merge":
+	case "trace", "list", "profiles", "merge", "serve":
 		return false
 	}
 	return true
@@ -163,10 +179,13 @@ func run(args []string) error {
 	memProf := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	cacheDir := fs.String("cache-dir", "", "directory of the persistent cell store (created if missing); cell hits skip simulation, misses are written back")
 	shard := fs.String("shard", "", "run one shard i/n of the cell grid and print a mergeable shard artifact instead of normal output")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address for the serve subcommand")
+	maxInflight := fs.Int("max-inflight", 0, "serve: max concurrently admitted experiment requests (0 = one per core); excess requests get 429")
 	usage := func(w io.Writer) {
 		fmt.Fprintln(w, "usage: uvmbench [flags] <subcommand>[,<subcommand>...]")
 		fmt.Fprintln(w, "       uvmbench [flags] merge <shard.json> ...")
-		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles merge all")
+		fmt.Fprintln(w, "       uvmbench [flags] serve")
+		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles merge serve all")
 		fmt.Fprintln(w, "flags:")
 		fs.SetOutput(w)
 		fs.PrintDefaults()
@@ -210,6 +229,15 @@ func run(args []string) error {
 		}
 		return runMerge(fs.Args()[1:], *par, *jsonOut, *cacheDir)
 	}
+	if containsCmd(cmds, "serve") {
+		if len(cmds) != 1 {
+			return fmt.Errorf("serve cannot be combined with other subcommands")
+		}
+		if *shard != "" {
+			return fmt.Errorf("-shard does not apply to serve")
+		}
+		return runServe(*addr, *maxInflight, *par, *cacheDir, *prof)
+	}
 	shardIdx, shardCnt := 0, 0
 	if *shard != "" {
 		var err error
@@ -237,11 +265,17 @@ func run(args []string) error {
 	r.Iterations = *iters
 	r.BaseSeed = *seed
 	r.Parallelism = *par
+	// Every invocation carries a metrics registry: batch runs expose the
+	// same counter/histogram numbers in the cache-summary doc that a
+	// serve process exports over /metrics.
+	reg := metrics.New()
+	r.InstrumentMetrics(reg)
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
 			return err
 		}
+		st.Instrument(reg)
 		r.Store = st
 	}
 
@@ -255,6 +289,7 @@ func run(args []string) error {
 		outDir:    *outDir,
 		profiles:  *profs,
 		rest:      fs.Args()[1:],
+		reg:       reg,
 	}
 	o.sizeOr = sizeOrFunc(*sizeName)
 
@@ -278,7 +313,7 @@ func run(args []string) error {
 			Profile:  p,
 		}
 		if containsCmd(cmds, "compare-profiles") {
-			ps, err := resolveProfiles(*profs)
+			ps, err := serve.ResolveProfiles(*profs)
 			if err != nil {
 				return err
 			}
@@ -308,7 +343,10 @@ func run(args []string) error {
 			stopProfiles()
 			return err
 		}
-	} else if containsCmd(cmds, "all") {
+	} else if containsCmd(cmds, "all") || r.Store != nil {
+		// The two-tier traffic summary rides along with every
+		// store-backed run (satellite: not just `all`): on stderr, so
+		// stdout artifacts stay byte-comparable cold vs warm.
 		printCacheSummary(r, o)
 	}
 	return stopProfiles()
@@ -325,17 +363,24 @@ func sizeOrFunc(name string) func(def workloads.Size) (workloads.Size, error) {
 	}
 }
 
-// printCacheSummary reports both cache tiers after an `all` run — to
-// stderr, so stdout artifacts stay byte-comparable between cold, warm,
-// and merged runs whose cache traffic necessarily differs.
+// printCacheSummary reports both cache tiers after an `all` or any
+// store-backed run — to stderr, so stdout artifacts stay
+// byte-comparable between cold, warm, and merged runs whose cache
+// traffic necessarily differs. In JSON mode the doc also carries the
+// full metrics-registry snapshot and the trace subcommand's
+// counter-registry totals, so batch runs expose the same numbers a
+// serve process exports over /metrics.
 func printCacheSummary(r *core.Runner, o *options) {
 	if o.json {
 		doc := core.FigureDoc{Figure: "cache_summary", Data: struct {
-			MemoryHits   uint64 `json:"memory_hits"`
-			MemoryMisses uint64 `json:"memory_misses"`
-			StoreHits    uint64 `json:"store_hits"`
-			StoreMisses  uint64 `json:"store_misses"`
-		}{r.CacheHits(), r.CacheMisses(), r.StoreHits(), r.StoreMisses()}}
+			MemoryHits    uint64             `json:"memory_hits"`
+			MemoryMisses  uint64             `json:"memory_misses"`
+			StoreHits     uint64             `json:"store_hits"`
+			StoreMisses   uint64             `json:"store_misses"`
+			TraceCounters map[string]float64 `json:"trace_counters,omitempty"`
+			Metrics       []metrics.Snapshot `json:"metrics,omitempty"`
+		}{r.CacheHits(), r.CacheMisses(), r.StoreHits(), r.StoreMisses(),
+			o.traceTotals, o.reg.Snapshot()}}
 		if s, err := core.RenderJSON(doc); err == nil {
 			fmt.Fprint(os.Stderr, s)
 		}
@@ -444,177 +489,27 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		}
 		return nil
 
-	case "table3":
-		return o.emit(core.RenderTable3(), core.Table3Doc())
-
-	case "fig4", "fig5":
-		sizes := feasibleSizes(r.Config)
-		if len(sizes) == 0 {
-			return fmt.Errorf("%s: no size class fits the active profile's memory", cmd)
-		}
-		if !o.json && len(sizes) < len(workloads.AllSizes) {
-			fmt.Fprintf(o.out, "note: %d of %d size classes fit this profile's memory; larger classes dropped\n",
-				len(sizes), len(workloads.AllSizes))
-		}
-		study, err := r.Distributions(workloads.Micro(), sizes)
-		if err != nil {
-			return err
-		}
-		if cmd == "fig4" {
-			return o.emit(study.RenderFig4(), study.Fig4Doc())
-		}
-		return o.emit(study.RenderFig5(), study.Fig5Doc())
-
-	case "fig6":
-		// Figure 6 is defined at the mega class (32 GB): on machines whose
-		// memory cannot host it, report the skip instead of failing `all`.
-		if !r.Config.FitsFootprint(workloads.Mega.Footprint()) {
-			note := "fig6 skipped: the mega class (32 GB) does not fit the active profile's memory\n"
-			return o.emit(note, core.FigureDoc{Figure: "fig6", Data: struct {
-				Skipped string `json:"skipped"`
-			}{"mega footprint exceeds profile memory"}})
-		}
-		f, err := r.Fig6()
-		if err != nil {
-			return err
-		}
-		return o.emit(f.Render(), f.Doc())
-
 	case "profiles":
 		return runProfiles(o)
 
-	case "compare-profiles":
-		size, err := o.sizeOr(workloads.Large)
+	case "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub",
+		"compare-profiles":
+		// The figure dispatch lives in internal/serve and is shared with
+		// the HTTP service, which is what keeps POST /v1/experiments
+		// responses byte-identical to -json output: both sides render the
+		// same documents from the same code.
+		text, doc, err := serve.Figure(r, cmd, serve.FigureOptions{
+			Size:        o.sizeName,
+			Jobs:        o.jobs,
+			Workload:    o.workload,
+			ProfilesCSV: o.profiles,
+			Profiles:    o.fixed,
+		})
 		if err != nil {
 			return err
 		}
-		ps := o.fixed
-		if ps == nil {
-			ps, err = resolveProfiles(o.profiles)
-			if err != nil {
-				return err
-			}
-		}
-		study, err := r.CompareProfiles(ps, o.workload, size)
-		if err != nil {
-			return err
-		}
-		return o.emit(study.Render(), study.Doc())
-
-	case "fig7":
-		var text strings.Builder
-		var studies []*core.BreakdownStudy
-		for _, size := range []workloads.Size{workloads.Large, workloads.Super} {
-			study, err := r.BreakdownComparison(workloads.Micro(), size)
-			if err != nil {
-				return err
-			}
-			studies = append(studies, study)
-			text.WriteString(study.Render("Figure 7"))
-			text.WriteString("\n")
-		}
-		return o.emit(text.String(), core.Fig7Doc(studies))
-
-	case "fig8":
-		size, err := o.sizeOr(workloads.Super)
-		if err != nil {
-			return err
-		}
-		study, err := r.BreakdownComparison(workloads.Apps(), size)
-		if err != nil {
-			return err
-		}
-		return o.emit(study.Render("Figure 8"), study.Doc("fig8"))
-
-	case "fig9", "fig10":
-		size, err := o.sizeOr(workloads.Super)
-		if err != nil {
-			return err
-		}
-		study, err := r.CounterComparison([]string{"gemm", "lud", "yolov3"}, size)
-		if err != nil {
-			return err
-		}
-		if cmd == "fig9" {
-			return o.emit(study.RenderFig9(), study.Doc("fig9"))
-		}
-		return o.emit(study.RenderFig10(), study.Doc("fig10"))
-
-	case "fig11":
-		size, err := o.sizeOr(workloads.Large)
-		if err != nil {
-			return err
-		}
-		sw, err := r.SweepBlocks(size, []int{4096, 2048, 1024, 512, 256, 128, 64, 32, 16})
-		if err != nil {
-			return err
-		}
-		return o.emit(sw.Render("Figure 11"), sw.Doc("fig11"))
-
-	case "fig12":
-		size, err := o.sizeOr(workloads.Large)
-		if err != nil {
-			return err
-		}
-		sw, err := r.SweepThreads(size, []int{1024, 512, 256, 128, 64, 32})
-		if err != nil {
-			return err
-		}
-		return o.emit(sw.Render("Figure 12"), sw.Doc("fig12"))
-
-	case "fig13":
-		size, err := o.sizeOr(workloads.Large)
-		if err != nil {
-			return err
-		}
-		sw, err := r.SweepShared(size, []float64{2, 4, 8, 16, 32, 64, 128})
-		if err != nil {
-			return err
-		}
-		return o.emit(sw.Render("Figure 13"), sw.Doc("fig13"))
-
-	case "fig14":
-		size, err := o.sizeOr(workloads.Super)
-		if err != nil {
-			return err
-		}
-		res, err := r.MultiJob("vector_seq", cuda.UVMPrefetchAsync, size, o.jobs)
-		if err != nil {
-			return err
-		}
-		return o.emit(res.Render(), res.Doc())
-
-	case "micro":
-		size, err := o.sizeOr(workloads.Super)
-		if err != nil {
-			return err
-		}
-		study, err := r.BreakdownComparison(workloads.Micro(), size)
-		if err != nil {
-			return err
-		}
-		return o.emit(study.Render("Microbenchmarks (§4.1.1)"), study.Doc("micro"))
-
-	case "apps":
-		size, err := o.sizeOr(workloads.Super)
-		if err != nil {
-			return err
-		}
-		study, err := r.BreakdownComparison(workloads.Apps(), size)
-		if err != nil {
-			return err
-		}
-		return o.emit(study.Render("Real-world applications (§4.1.2)"), study.Doc("apps"))
-
-	case "oversub":
-		// Extension experiment: UVM oversubscription (see §2.1's cited
-		// related work). Two passes over footprints around capacity, on a
-		// grid dense around the cliff (cheap now that eviction is O(1)).
-		study, err := r.Oversubscription(cuda.UVMPrefetch, core.DefaultOversubRatios, 2)
-		if err != nil {
-			return err
-		}
-		return o.emit(study.Render(), study.Doc())
+		return o.emit(text, doc)
 
 	case "trace":
 		return runTrace(r, o)
@@ -635,19 +530,6 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		return nil
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
-}
-
-// feasibleSizes filters the paper's size classes to those the active
-// profile's device and host memory can host under every setup. On the
-// default A100-40GB profile this is all six classes.
-func feasibleSizes(cfg cuda.SystemConfig) []workloads.Size {
-	var out []workloads.Size
-	for _, s := range workloads.AllSizes {
-		if cfg.FitsFootprint(s.Footprint()) {
-			out = append(out, s)
-		}
-	}
-	return out
 }
 
 // runProfiles implements the profiles subcommand. With no argument (or
@@ -683,30 +565,6 @@ func runProfiles(o *options) error {
 	}
 	return fmt.Errorf("unknown profiles verb %q (expected list, show or dump)%s",
 		verb, nearest.Hint(verb, []string{"list", "show", "dump"}, 2))
-}
-
-// resolveProfiles parses the -profiles list into validated profiles; an
-// empty list means every built-in machine.
-func resolveProfiles(list string) ([]profile.Profile, error) {
-	if strings.TrimSpace(list) == "" {
-		return profile.Builtins(), nil
-	}
-	var ps []profile.Profile
-	for _, arg := range strings.Split(list, ",") {
-		arg = strings.TrimSpace(arg)
-		if arg == "" {
-			continue
-		}
-		p, err := profile.Resolve(arg)
-		if err != nil {
-			return nil, err
-		}
-		ps = append(ps, p)
-	}
-	if len(ps) == 0 {
-		return nil, fmt.Errorf("-profiles names no profiles")
-	}
-	return ps, nil
 }
 
 // runTrace records one timeline per requested setup and writes each as
@@ -750,6 +608,17 @@ func runTrace(r *core.Runner, o *options) error {
 			return err
 		}
 		m := res.Tracer.Metrics()
+		// Fold this run's counter registry into the invocation totals the
+		// cache-summary doc reports (satellite: batch runs expose the
+		// same numbers /metrics serves).
+		if len(m.Counters) > 0 {
+			if o.traceTotals == nil {
+				o.traceTotals = make(map[string]float64, len(m.Counters))
+			}
+			for name, v := range m.Counters {
+				o.traceTotals[name] += v
+			}
+		}
 		if o.json {
 			busy := make(map[string]float64, trace.NumTracks)
 			for t := 0; t < trace.NumTracks; t++ {

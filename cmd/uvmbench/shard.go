@@ -188,8 +188,8 @@ func runMerge(files []string, par int, jsonOut bool, cacheDir string) error {
 			return err
 		}
 	}
-	if containsCmd(spec.Commands, "all") {
-		printCacheSummary(r, o)
-	}
+	// Merge is always store-backed (the shard cells), so the footer
+	// prints for every replayed command set, like any -cache-dir run.
+	printCacheSummary(r, o)
 	return nil
 }

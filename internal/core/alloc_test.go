@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/metrics"
 	"uvmasim/internal/workloads"
 )
 
@@ -90,5 +91,44 @@ func TestMeasureCellWarmupAllocCeiling(t *testing.T) {
 				t.Errorf("cold-start measureCell allocated %d times, ceiling %d", warm, warmCeiling)
 			}
 		})
+	}
+}
+
+// TestInstrumentedCellAllocIterationIndependent: with the metrics
+// registry attached (the serve configuration), per-cell allocation cost
+// through the cached() path must stay independent of the iteration
+// count — the instruments observe whole cells, never iterations, so the
+// alloc-free hot loop survives instrumentation.
+func TestInstrumentedCellAllocIterationIndependent(t *testing.T) {
+	w, err := workloads.ByName("vector_seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	r.Parallelism = 1
+	r.InstrumentMetrics(metrics.New())
+	seed := int64(1000)
+	perCell := func(iters int) float64 {
+		r.Iterations = iters
+		return testing.AllocsPerRun(3, func() {
+			// A fresh seed per call: every Measure is a distinct cell, so
+			// each simulates (warm contexts, cold cache slot).
+			seed++
+			r.BaseSeed = seed
+			if _, err := r.Measure(w, cuda.UVMPrefetchAsync, workloads.Large); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	perCell(12)
+	few := perCell(2)
+	many := perCell(12)
+	// Tolerate map-growth jitter between samples, nothing more: a
+	// per-iteration metric op would add ~10 allocations here.
+	if many > few+2 {
+		t.Errorf("instrumented cell allocations grow with iteration count: %.1f at 2 iters, %.1f at 12", few, many)
+	}
+	if many > steadyCeiling+32 {
+		t.Errorf("instrumented cell allocates %.1f per call, ceiling %d", many, steadyCeiling+32)
 	}
 }

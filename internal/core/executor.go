@@ -207,6 +207,10 @@ type cellCache struct {
 	// the whole family shares one cache.
 	storeHits   atomic.Uint64
 	storeMisses atomic.Uint64
+	// inst holds the optional metric hooks attached by
+	// Runner.InstrumentMetrics. The zero value disables them; see
+	// metrics.go.
+	inst cellInstruments
 }
 
 func newCellCache() *cellCache {
@@ -224,8 +228,10 @@ func (c *cellCache) do(key cellKey, compute func() (Result, error)) (Result, err
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		c.inst.memHits.Inc()
 	} else {
 		c.misses.Add(1)
+		c.inst.memMisses.Inc()
 	}
 	e.once.Do(func() { e.res, e.err = compute() })
 	return e.res, e.err
@@ -269,18 +275,25 @@ func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, comp
 		}
 	}
 	if r.Store == nil && r.Capture == nil {
-		return r.cache.do(key, compute)
+		if r.cache.inst.cellSeconds == nil {
+			return r.cache.do(key, compute)
+		}
+		return r.cache.do(key, func() (Result, error) {
+			return r.cache.inst.run(compute)
+		})
 	}
 	skey := storeKeyOf(key)
 	res, err := r.cache.do(key, func() (Result, error) {
 		if r.Store != nil {
 			if doc, ok := r.Store.Get(skey); ok {
 				r.cache.storeHits.Add(1)
+				r.cache.inst.storeHits.Inc()
 				return resultFromDoc(key, doc), nil
 			}
 			r.cache.storeMisses.Add(1)
+			r.cache.inst.storeMisses.Inc()
 		}
-		res, err := compute()
+		res, err := r.cache.inst.run(compute)
 		if err == nil && r.Store != nil {
 			// Best-effort write-back: a failed Put costs a future
 			// recompute, never a wrong result.

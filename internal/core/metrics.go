@@ -1,0 +1,78 @@
+package core
+
+import (
+	"time"
+
+	"uvmasim/internal/metrics"
+)
+
+// This file threads the process-wide metrics registry (internal/metrics)
+// through the experiment harness: the cell cache's two tiers and the
+// parallel executor's simulation traffic. Instruments live on the shared
+// cellCache — the same place as the existing atomic hit/miss counters —
+// so a whole Runner family (value copies sharing one cache) reports into
+// one set of series. All hooks are nil-safe: an uninstrumented runner
+// pays a nil check per cell, and nothing per iteration (instrumentation
+// is at cell granularity, outside the alloc-free iteration loop).
+
+// cellInstruments is the set of executor/cache metric hooks. The zero
+// value (all nil) is the disabled state.
+type cellInstruments struct {
+	memHits     *metrics.Counter
+	memMisses   *metrics.Counter
+	storeHits   *metrics.Counter
+	storeMisses *metrics.Counter
+	simulated   *metrics.Counter
+	inFlight    *metrics.Gauge
+	cellSeconds *metrics.Histogram
+}
+
+// run executes one cell simulation under the executor instruments:
+// in-flight gauge up/down, wall-time histogram sample, simulated-cells
+// counter. Uninstrumented, it is the identity wrapper.
+func (in *cellInstruments) run(compute func() (Result, error)) (Result, error) {
+	if in.cellSeconds == nil {
+		return compute()
+	}
+	in.inFlight.Add(1)
+	start := time.Now()
+	res, err := compute()
+	in.cellSeconds.Observe(time.Since(start).Seconds())
+	in.inFlight.Add(-1)
+	in.simulated.Inc()
+	return res, err
+}
+
+// InstrumentMetrics registers the harness's cache and executor series
+// with reg and attaches them to the runner's shared cell cache, so every
+// study on this Runner family reports cache traffic, store traffic and
+// per-cell simulation wall time. Call it once, before running studies
+// (the hooks are read concurrently by executor workers afterwards). A
+// nil registry, or a cache-disabled path (Cache=false, TraceHook), stays
+// unobserved. Counter values mirror CacheHits/CacheMisses/StoreHits/
+// StoreMisses; the histogram and gauge cover only actually simulated
+// cells — store hits resolve inside the singleflight slot without
+// touching them, which is what makes the warm-hit vs cold-simulation
+// split visible on a /metrics dashboard.
+func (r *Runner) InstrumentMetrics(reg *metrics.Registry) {
+	if reg == nil || r.cache == nil {
+		return
+	}
+	r.cache.inst = cellInstruments{
+		memHits: reg.Counter("uvmbench_cell_cache_hits_total",
+			"Cell lookups served by the in-memory cell cache."),
+		memMisses: reg.Counter("uvmbench_cell_cache_misses_total",
+			"Cell lookups that missed the in-memory cell cache."),
+		storeHits: reg.Counter("uvmbench_store_hits_total",
+			"In-memory misses served by the persistent cell store."),
+		storeMisses: reg.Counter("uvmbench_store_misses_total",
+			"In-memory misses that also missed the persistent store and simulated."),
+		simulated: reg.Counter("uvmbench_cells_simulated_total",
+			"Measurement cells actually simulated (not replayed from any cache tier)."),
+		inFlight: reg.Gauge("uvmbench_cells_inflight",
+			"Measurement cells currently simulating on the parallel executor."),
+		cellSeconds: reg.Histogram("uvmbench_cell_seconds",
+			"Wall time of one simulated measurement cell (all iterations).",
+			metrics.DefSecondsBuckets),
+	}
+}

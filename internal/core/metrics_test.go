@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/metrics"
+	"uvmasim/internal/store"
+	"uvmasim/internal/workloads"
+)
+
+// TestInstrumentMetricsMirrorsCounters: the registry series attached by
+// InstrumentMetrics must agree exactly with the runner's own accessors,
+// on both the plain and the store-backed cache path, and the simulation
+// instruments must cover exactly the cells that actually simulated.
+func TestInstrumentMetricsMirrorsCounters(t *testing.T) {
+	check := func(t *testing.T, r *Runner, reg *metrics.Registry) {
+		t.Helper()
+		w := mustWorkloads(t, "gemm")[0]
+		if _, err := r.Measure(w, cuda.UVMPrefetch, workloads.Large); err != nil {
+			t.Fatal(err)
+		}
+		// Second measurement of the same cell: a memory hit.
+		if _, err := r.Measure(w, cuda.UVMPrefetch, workloads.Large); err != nil {
+			t.Fatal(err)
+		}
+		pairs := map[string][2]uint64{
+			"uvmbench_cell_cache_hits_total":   {reg.Counter("uvmbench_cell_cache_hits_total", "").Value(), r.CacheHits()},
+			"uvmbench_cell_cache_misses_total": {reg.Counter("uvmbench_cell_cache_misses_total", "").Value(), r.CacheMisses()},
+			"uvmbench_store_hits_total":        {reg.Counter("uvmbench_store_hits_total", "").Value(), r.StoreHits()},
+			"uvmbench_store_misses_total":      {reg.Counter("uvmbench_store_misses_total", "").Value(), r.StoreMisses()},
+		}
+		for name, p := range pairs {
+			if p[0] != p[1] {
+				t.Errorf("%s = %d, runner accessor = %d", name, p[0], p[1])
+			}
+		}
+		if r.CacheHits() == 0 || r.CacheMisses() == 0 {
+			t.Errorf("expected both hits (%d) and misses (%d)", r.CacheHits(), r.CacheMisses())
+		}
+		simulated := reg.Counter("uvmbench_cells_simulated_total", "").Value()
+		wantSim := r.CacheMisses() - r.StoreHits()
+		if simulated != wantSim {
+			t.Errorf("cells simulated = %d, want %d (memory misses minus store hits)", simulated, wantSim)
+		}
+		h := reg.Histogram("uvmbench_cell_seconds", "", nil)
+		if h.Count() != simulated {
+			t.Errorf("cell_seconds count = %d, want %d (one sample per simulated cell)", h.Count(), simulated)
+		}
+		if g := reg.Gauge("uvmbench_cells_inflight", "").Value(); g != 0 {
+			t.Errorf("cells in flight after runs = %v, want 0", g)
+		}
+	}
+
+	t.Run("plain", func(t *testing.T) {
+		reg := metrics.New()
+		r := testRunner(2)
+		r.InstrumentMetrics(reg)
+		check(t, r, reg)
+	})
+	t.Run("store", func(t *testing.T) {
+		dir, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.New()
+		r := storeRunner(dir)
+		r.InstrumentMetrics(reg)
+		check(t, r, reg)
+		if h := reg.Counter("uvmbench_store_hits_total", "").Value(); h != 0 {
+			t.Fatalf("cold store run reported %d store hits", h)
+		}
+
+		// A second process against the same store: every miss is a store
+		// hit, and nothing simulates.
+		reg2 := metrics.New()
+		warm := storeRunner(dir)
+		warm.InstrumentMetrics(reg2)
+		if _, err := warm.Measure(mustWorkloads(t, "gemm")[0], cuda.UVMPrefetch, workloads.Large); err != nil {
+			t.Fatal(err)
+		}
+		if hits := reg2.Counter("uvmbench_store_hits_total", "").Value(); hits != warm.CacheMisses() {
+			t.Errorf("warm store hits = %d, want %d", hits, warm.CacheMisses())
+		}
+		if sim := reg2.Counter("uvmbench_cells_simulated_total", "").Value(); sim != 0 {
+			t.Errorf("warm run simulated %d cells, want 0", sim)
+		}
+	})
+}
+
+// TestInstrumentMetricsNilSafe: a nil registry (or an uninstrumented
+// runner) must behave exactly as before.
+func TestInstrumentMetricsNilSafe(t *testing.T) {
+	r := testRunner(2)
+	r.InstrumentMetrics(nil)
+	if _, err := r.Measure(mustWorkloads(t, "gemm")[0], cuda.UVMPrefetch, workloads.Large); err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheMisses() == 0 {
+		t.Error("uninstrumented runner should still count misses")
+	}
+}

@@ -1,0 +1,408 @@
+// Package metrics is the process-wide observability registry behind the
+// experiment service: typed counters, gauges and fixed-bucket histograms
+// that the harness layers (cell cache, persistent store, executor, HTTP
+// handlers) thread their traffic through, exposed in Prometheus text
+// format by `uvmbench serve`'s /metrics endpoint and embedded as a JSON
+// snapshot in the CLI's cache-summary document.
+//
+// The package follows internal/trace's nil-receiver discipline: a nil
+// *Counter, *Gauge or *Histogram accepts every operation and does
+// nothing, so instrumented code updates its metrics unconditionally and
+// an unregistered layer pays one nil check. All update paths are
+// lock-free (single atomic ops; the registry mutex guards only
+// registration and exposition), allocation-free, and safe for concurrent
+// use — cells fan out across the parallel executor and requests across
+// the HTTP server's connection goroutines.
+//
+// Metric names may carry a constant Prometheus label set in curly braces
+// (`uvmbench_http_responses_total{code="200"}`); the exposition groups
+// such series under one # HELP/# TYPE header for their base name.
+// Histogram bucket bounds are fixed at registration, so exposition
+// output shape is deterministic: series sort by full name and the only
+// run-to-run differences are the sample values themselves.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefSecondsBuckets is the deterministic bucket ladder used for latency
+// histograms (seconds): half-millisecond resolution at the warm-hit end,
+// ten-second ceiling for cold full-figure simulations.
+var DefSecondsBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; a nil Counter ignores updates and reads as 0.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (queue depths, in-flight
+// cells). The zero value is ready to use; a nil Gauge ignores updates
+// and reads as 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets with ascending
+// inclusive upper bounds (Prometheus `le` semantics; an implicit +Inf
+// bucket catches the rest) and accumulates their sum. Bounds are fixed
+// at registration so the exposition shape is deterministic. A nil
+// Histogram ignores observations.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose inclusive upper bound admits v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry holds the process's metrics. Registration is get-or-create:
+// asking for an existing name returns the same metric, so every layer
+// can Instrument itself against the shared registry independently. A nil
+// Registry returns nil metrics, which discard all updates — the
+// zero-overhead unregistered state.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string // keyed by base name
+	kind       map[string]string // full name -> "counter"|"gauge"|"histogram"
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+		kind:       make(map[string]string),
+	}
+}
+
+// baseOf strips a constant label set from a series name:
+// `foo_total{code="200"}` has base `foo_total`, which is what the # HELP
+// and # TYPE headers describe.
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register claims name for the given kind, records help for its base
+// name once, and reports whether the name is new. The caller holds no
+// lock; conflicting re-registration under a different type is a
+// programming error and panics (matching Prometheus client behavior).
+func (r *Registry) register(name, help, kind string) bool {
+	if prev, ok := r.kind[name]; ok {
+		if prev != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, prev, kind))
+		}
+		return false
+	}
+	r.kind[name] = kind
+	if _, ok := r.help[baseOf(name)]; !ok {
+		r.help[baseOf(name)] = help
+	}
+	return true
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. A nil registry returns a nil (discard-all) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.register(name, help, "counter") {
+		return r.counters[name]
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. A nil registry returns a nil (discard-all) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.register(name, help, "gauge") {
+		return r.gauges[name]
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given ascending bucket bounds on first use (later calls
+// return the existing histogram regardless of bounds). A nil registry
+// returns a nil (discard-all) histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.register(name, help, "histogram") {
+		return r.histograms[name]
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// formatFloat renders a sample value in Go's shortest exact form, the
+// same convention as the store's JSON payloads.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labeledSeries splits a full series name into its base and an opening
+// brace-ready label prefix: for `foo{code="200"}` a histogram bucket
+// becomes `foo_bucket{code="200",le="..."}`.
+func labeledSeries(name, suffix, extraLabel string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i+1:len(name)-1]
+	}
+	switch {
+	case labels == "" && extraLabel == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extraLabel + "}"
+	case extraLabel == "":
+		return base + suffix + "{" + labels + "}"
+	}
+	return base + suffix + "{" + labels + "," + extraLabel + "}"
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4), series sorted by full name so the
+// output order is deterministic. Values are read without a global
+// snapshot lock: each series is internally consistent, which is all the
+// format promises.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.kind))
+	for name := range r.kind {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	seenBase := ""
+	for _, name := range names {
+		r.mu.Lock()
+		kind := r.kind[name]
+		help := r.help[baseOf(name)]
+		counter := r.counters[name]
+		gauge := r.gauges[name]
+		hist := r.histograms[name]
+		r.mu.Unlock()
+
+		if base := baseOf(name); base != seenBase {
+			seenBase = base
+			if help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+		}
+		switch kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s %d\n", name, counter.Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(gauge.Value()))
+		case "histogram":
+			cum := uint64(0)
+			for i, bound := range hist.bounds {
+				cum += hist.buckets[i].Load()
+				fmt.Fprintf(&b, "%s %d\n",
+					labeledSeries(name, "_bucket", `le="`+formatFloat(bound)+`"`), cum)
+			}
+			cum += hist.buckets[len(hist.bounds)].Load()
+			fmt.Fprintf(&b, "%s %d\n", labeledSeries(name, "_bucket", `le="+Inf"`), cum)
+			fmt.Fprintf(&b, "%s %s\n", labeledSeries(name, "_sum", ""), formatFloat(hist.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", labeledSeries(name, "_count", ""), hist.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot. LE is the
+// formatted inclusive upper bound ("+Inf" for the overflow bucket, which
+// float64 JSON could not carry).
+type Bucket struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"cumulative"`
+}
+
+// Snapshot is the JSON-ready state of one metric, the form the CLI
+// embeds in its -json cache-summary document so batch runs expose the
+// same numbers the /metrics endpoint serves.
+type Snapshot struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Value   float64  `json:"value,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric's current state, sorted by
+// name. A nil registry snapshots to nil.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.kind))
+	for name := range r.kind {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Snapshot, 0, len(names))
+	for _, name := range names {
+		s := Snapshot{Name: name, Type: r.kind[name]}
+		switch s.Type {
+		case "counter":
+			s.Value = float64(r.counters[name].Value())
+		case "gauge":
+			s.Value = r.gauges[name].Value()
+		case "histogram":
+			h := r.histograms[name]
+			s.Count = h.Count()
+			s.Sum = h.Sum()
+			s.Buckets = make([]Bucket, 0, len(h.bounds)+1)
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.buckets[i].Load()
+				s.Buckets = append(s.Buckets, Bucket{LE: formatFloat(bound), Cumulative: cum})
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			s.Buckets = append(s.Buckets, Bucket{LE: "+Inf", Cumulative: cum})
+		}
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	return out
+}

@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "other help"); again != c {
+		t.Error("re-registration should return the same counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("sum = %v, want 106", h.Sum())
+	}
+	// le="1" admits 0.5 and the inclusive 1; le="2" adds 1.5; le="4"
+	// adds 3; +Inf catches 100.
+	wantCum := []uint64{2, 3, 4, 5}
+	cum := uint64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, cum, wantCum[i])
+		}
+	}
+}
+
+// TestNilSafety: every operation on nil metrics and a nil registry is a
+// no-op — the zero-overhead unregistered state.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should read 0")
+	}
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("y", "").Set(1)
+	r.Histogram("z", "", DefSecondsBuckets).Observe(1)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry should snapshot to nil")
+	}
+}
+
+// TestUpdatesAllocFree pins the hot-path property the instrumented
+// simulation layers rely on: metric updates never allocate.
+func TestUpdatesAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DefSecondsBuckets)
+	var nilC *Counter
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.42)
+		nilC.Inc()
+	}); n != 0 {
+		t.Errorf("metric updates allocate %v times per op, want 0", n)
+	}
+}
+
+// promLine matches one sample line of the text exposition format:
+// name{labels} value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+
+// ParseText is the test-side Prometheus parser shared with the serve
+// tests (exported from the package's test archive via this helper):
+// every non-comment line must match the exposition grammar.
+func parseText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line does not parse as Prometheus text format: %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line[i+1:], "+"), 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("uvm_hits_total", "cache hits").Add(7)
+	r.Counter(`uvm_responses_total{code="200"}`, "responses by status").Add(3)
+	r.Counter(`uvm_responses_total{code="429"}`, "responses by status").Add(1)
+	r.Gauge("uvm_inflight", "in-flight cells").Set(2)
+	h := r.Histogram("uvm_cell_seconds", "cell wall time", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parseText(t, text)
+
+	want := map[string]float64{
+		"uvm_hits_total":                     7,
+		`uvm_responses_total{code="200"}`:    3,
+		`uvm_responses_total{code="429"}`:    1,
+		"uvm_inflight":                       2,
+		`uvm_cell_seconds_bucket{le="0.1"}`:  1,
+		`uvm_cell_seconds_bucket{le="1"}`:    2,
+		`uvm_cell_seconds_bucket{le="+Inf"}`: 3,
+		"uvm_cell_seconds_sum":               5.55,
+		"uvm_cell_seconds_count":             3,
+	}
+	for name, v := range want {
+		if got, ok := samples[name]; !ok || got != v {
+			t.Errorf("sample %s = %v (present=%v), want %v", name, got, ok, v)
+		}
+	}
+	// One TYPE header per base name, even with labeled series.
+	if n := strings.Count(text, "# TYPE uvm_responses_total "); n != 1 {
+		t.Errorf("TYPE header for labeled family appears %d times, want 1", n)
+	}
+	// Deterministic: a second exposition is byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("exposition is not deterministic for unchanged metrics")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "").Add(2)
+	r.Gauge("a", "").Set(1.5)
+	h := r.Histogram("c", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	snaps := r.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	// Sorted by name: a, b_total, c.
+	if snaps[0].Name != "a" || snaps[1].Name != "b_total" || snaps[2].Name != "c" {
+		t.Errorf("snapshot order = %s,%s,%s", snaps[0].Name, snaps[1].Name, snaps[2].Name)
+	}
+	if snaps[0].Value != 1.5 || snaps[1].Value != 2 {
+		t.Errorf("snapshot values = %v, %v", snaps[0].Value, snaps[1].Value)
+	}
+	hs := snaps[2]
+	if hs.Count != 2 || hs.Sum != 2.5 {
+		t.Errorf("histogram snapshot count=%d sum=%v", hs.Count, hs.Sum)
+	}
+	if len(hs.Buckets) != 2 || hs.Buckets[0].Cumulative != 1 ||
+		hs.Buckets[1].LE != "+Inf" || hs.Buckets[1].Cumulative != 2 {
+		t.Errorf("histogram buckets = %+v", hs.Buckets)
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free update paths and
+// concurrent registration under the race detector, and checks the final
+// totals are exact (no lost updates).
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			g := r.Gauge("shared_gauge", "")
+			h := r.Histogram("shared_hist", "", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared_gauge", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("shared_hist", "", nil)
+	if h.Count() != workers*perWorker || h.Sum() != workers*perWorker*0.25 {
+		t.Errorf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds should panic")
+		}
+	}()
+	New().Histogram("bad", "", []float64{1, 1})
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-type re-registration should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:           "1",
+		0.25:        "0.25",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package serve turns the experiment harness into a long-running
+// HTTP/JSON service with a first-class observability plane: figure
+// computation over POST /v1/experiments (byte-identical to the CLI's
+// -json output for the same spec), Prometheus metrics over /metrics,
+// readiness over /healthz, and pprof over /debug/pprof/.
+//
+// The figure dispatch in this file is the single source of truth shared
+// by cmd/uvmbench and the server: both call Figure, so the wire format
+// cannot drift from the CLI artifact — the byte-identity acceptance
+// criterion is structural, not tested-into-existence.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"uvmasim/internal/core"
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
+	"uvmasim/internal/workloads"
+)
+
+// FigureOptions carries the per-invocation knobs a figure consumes,
+// mirroring the CLI flags. Values are passed through literally (the CLI
+// flag defaults — jobs 8, workload gemm — are applied by the flag
+// parser or by Spec normalization, not here), so CLI and server agree
+// byte-for-byte on what any given option set produces.
+type FigureOptions struct {
+	Size        string            // -size override ("" = the figure's default class)
+	Jobs        int               // fig14 pipeline batch size
+	Workload    string            // compare-profiles workload
+	ProfilesCSV string            // -profiles list for compare-profiles ("" = all built-ins)
+	Profiles    []profile.Profile // pre-resolved compare-profiles set (overrides ProfilesCSV)
+}
+
+func (o FigureOptions) sizeOr(def workloads.Size) (workloads.Size, error) {
+	if o.Size == "" {
+		return def, nil
+	}
+	return workloads.ParseSize(o.Size)
+}
+
+// FigureNames lists every subcommand Figure handles — the artifact
+// surface both the CLI dispatch and POST /v1/experiments serve.
+var FigureNames = []string{
+	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub",
+	"compare-profiles",
+}
+
+// AllFigures is the expansion of the `all` pseudo-figure, in the order
+// the CLI's `all` subcommand runs them.
+var AllFigures = []string{
+	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "oversub",
+}
+
+// IsFigure reports whether cmd is one of FigureNames.
+func IsFigure(cmd string) bool {
+	for _, f := range FigureNames {
+		if f == cmd {
+			return true
+		}
+	}
+	return false
+}
+
+// Figure computes one figure artifact on r, returning both renderings:
+// the text table (including any advisory note lines the CLI prints in
+// text mode) and the JSON document. The caller picks one; neither
+// rendering is written anywhere here.
+func Figure(r *core.Runner, cmd string, opt FigureOptions) (string, core.FigureDoc, error) {
+	switch cmd {
+	case "table3":
+		return core.RenderTable3(), core.Table3Doc(), nil
+
+	case "fig4", "fig5":
+		sizes := FeasibleSizes(r.Config)
+		if len(sizes) == 0 {
+			return "", core.FigureDoc{}, fmt.Errorf("%s: no size class fits the active profile's memory", cmd)
+		}
+		note := ""
+		if len(sizes) < len(workloads.AllSizes) {
+			note = fmt.Sprintf("note: %d of %d size classes fit this profile's memory; larger classes dropped\n",
+				len(sizes), len(workloads.AllSizes))
+		}
+		study, err := r.Distributions(workloads.Micro(), sizes)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		if cmd == "fig4" {
+			return note + study.RenderFig4(), study.Fig4Doc(), nil
+		}
+		return note + study.RenderFig5(), study.Fig5Doc(), nil
+
+	case "fig6":
+		// Figure 6 is defined at the mega class (32 GB): on machines whose
+		// memory cannot host it, report the skip instead of failing.
+		if !r.Config.FitsFootprint(workloads.Mega.Footprint()) {
+			note := "fig6 skipped: the mega class (32 GB) does not fit the active profile's memory\n"
+			return note, core.FigureDoc{Figure: "fig6", Data: struct {
+				Skipped string `json:"skipped"`
+			}{"mega footprint exceeds profile memory"}}, nil
+		}
+		f, err := r.Fig6()
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return f.Render(), f.Doc(), nil
+
+	case "fig7":
+		var text strings.Builder
+		var studies []*core.BreakdownStudy
+		for _, size := range []workloads.Size{workloads.Large, workloads.Super} {
+			study, err := r.BreakdownComparison(workloads.Micro(), size)
+			if err != nil {
+				return "", core.FigureDoc{}, err
+			}
+			studies = append(studies, study)
+			text.WriteString(study.Render("Figure 7"))
+			text.WriteString("\n")
+		}
+		return text.String(), core.Fig7Doc(studies), nil
+
+	case "fig8":
+		size, err := opt.sizeOr(workloads.Super)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		study, err := r.BreakdownComparison(workloads.Apps(), size)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return study.Render("Figure 8"), study.Doc("fig8"), nil
+
+	case "fig9", "fig10":
+		size, err := opt.sizeOr(workloads.Super)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		study, err := r.CounterComparison([]string{"gemm", "lud", "yolov3"}, size)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		if cmd == "fig9" {
+			return study.RenderFig9(), study.Doc("fig9"), nil
+		}
+		return study.RenderFig10(), study.Doc("fig10"), nil
+
+	case "fig11":
+		size, err := opt.sizeOr(workloads.Large)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		sw, err := r.SweepBlocks(size, []int{4096, 2048, 1024, 512, 256, 128, 64, 32, 16})
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return sw.Render("Figure 11"), sw.Doc("fig11"), nil
+
+	case "fig12":
+		size, err := opt.sizeOr(workloads.Large)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		sw, err := r.SweepThreads(size, []int{1024, 512, 256, 128, 64, 32})
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return sw.Render("Figure 12"), sw.Doc("fig12"), nil
+
+	case "fig13":
+		size, err := opt.sizeOr(workloads.Large)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		sw, err := r.SweepShared(size, []float64{2, 4, 8, 16, 32, 64, 128})
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return sw.Render("Figure 13"), sw.Doc("fig13"), nil
+
+	case "fig14":
+		size, err := opt.sizeOr(workloads.Super)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		res, err := r.MultiJob("vector_seq", cuda.UVMPrefetchAsync, size, opt.Jobs)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return res.Render(), res.Doc(), nil
+
+	case "micro":
+		size, err := opt.sizeOr(workloads.Super)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		study, err := r.BreakdownComparison(workloads.Micro(), size)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return study.Render("Microbenchmarks (§4.1.1)"), study.Doc("micro"), nil
+
+	case "apps":
+		size, err := opt.sizeOr(workloads.Super)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		study, err := r.BreakdownComparison(workloads.Apps(), size)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return study.Render("Real-world applications (§4.1.2)"), study.Doc("apps"), nil
+
+	case "oversub":
+		// Extension experiment: UVM oversubscription (see §2.1's cited
+		// related work). Two passes over footprints around capacity, on a
+		// grid dense around the cliff (cheap now that eviction is O(1)).
+		study, err := r.Oversubscription(cuda.UVMPrefetch, core.DefaultOversubRatios, 2)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return study.Render(), study.Doc(), nil
+
+	case "compare-profiles":
+		size, err := opt.sizeOr(workloads.Large)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		ps := opt.Profiles
+		if ps == nil {
+			ps, err = ResolveProfiles(opt.ProfilesCSV)
+			if err != nil {
+				return "", core.FigureDoc{}, err
+			}
+		}
+		study, err := r.CompareProfiles(ps, opt.Workload, size)
+		if err != nil {
+			return "", core.FigureDoc{}, err
+		}
+		return study.Render(), study.Doc(), nil
+	}
+	return "", core.FigureDoc{}, fmt.Errorf("unknown figure %q", cmd)
+}
+
+// FeasibleSizes filters the paper's size classes to those the active
+// profile's device and host memory can host under every setup. On the
+// default A100-40GB profile this is all six classes.
+func FeasibleSizes(cfg cuda.SystemConfig) []workloads.Size {
+	var out []workloads.Size
+	for _, s := range workloads.AllSizes {
+		if cfg.FitsFootprint(s.Footprint()) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ResolveProfiles parses a -profiles list (built-in names or profile
+// JSON files) into validated profiles; an empty list means every
+// built-in machine.
+func ResolveProfiles(list string) ([]profile.Profile, error) {
+	if strings.TrimSpace(list) == "" {
+		return profile.Builtins(), nil
+	}
+	var ps []profile.Profile
+	for _, arg := range strings.Split(list, ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		p, err := profile.Resolve(arg)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("-profiles names no profiles")
+	}
+	return ps, nil
+}

@@ -42,6 +42,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"uvmasim/internal/metrics"
 )
 
 // SchemaVersion is the on-disk format version. Bump it when Key or
@@ -157,6 +159,22 @@ type Store interface {
 // fingerprint, under a schema-versioned subdirectory.
 type Dir struct {
 	root string // <user dir>/v<SchemaVersion>
+
+	// Metric hooks, nil (discard-all) until Instrument attaches a
+	// registry. Updates are single atomic ops, so Put/Get stay as
+	// concurrent-safe as before.
+	writes     *metrics.Counter
+	writeBytes *metrics.Counter
+}
+
+// Instrument registers the store's write-traffic counters with reg:
+// entries and bytes committed to disk. Call before serving traffic; a
+// nil registry leaves the store unobserved at zero overhead.
+func (d *Dir) Instrument(reg *metrics.Registry) {
+	d.writes = reg.Counter("uvmbench_store_writes_total",
+		"Cell documents committed to the persistent store.")
+	d.writeBytes = reg.Counter("uvmbench_store_written_bytes_total",
+		"Bytes of cell documents committed to the persistent store.")
 }
 
 // Open creates (if needed) and validates the store directory, probing
@@ -228,6 +246,8 @@ func (d *Dir) Put(key Key, doc CellDoc) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	d.writes.Inc()
+	d.writeBytes.Add(uint64(len(b)))
 	return nil
 }
 

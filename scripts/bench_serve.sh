@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# bench_serve.sh — measure the serve fast path: the warm store-hit
+# request benchmark (a restarted server answering POST /v1/experiments
+# entirely from the persistent cell store), and emit/check a
+# machine-readable baseline.
+#
+#   scripts/bench_serve.sh write [out.json]
+#       Run the measurement and write the JSON baseline (default
+#       BENCH_serve.json). Commit the result to refresh the baseline.
+#
+#   scripts/bench_serve.sh check [baseline.json]
+#       Run the measurement, write BENCH_serve_current.json next to the
+#       baseline for artifact upload, and fail if BenchmarkServeWarmHit's
+#       ns/op exceeds 3x its committed baseline or its allocs/op exceed
+#       2x.
+#
+# BENCHTIME overrides the per-benchmark iteration count (default 50x; a
+# warm request is under a millisecond, so a few dozen iterations average
+# out file-system jitter without measuring noise).
+set -eu
+
+mode="${1:-write}"
+baseline="${2:-BENCH_serve.json}"
+benchtime="${BENCHTIME:-50x}"
+
+cd "$(dirname "$0")/.."
+
+run_bench() {
+    go test -run '^$' -bench 'BenchmarkServeWarmHit$' \
+        -benchtime "$benchtime" -benchmem . |
+        awk '
+            /^Benchmark/ {
+                name = $1
+                sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+                ns = ""; allocs = ""
+                for (i = 2; i <= NF; i++) {
+                    if ($i == "ns/op") ns = $(i-1)
+                    if ($i == "allocs/op") allocs = $(i-1)
+                }
+                if (ns == "") next
+                if (out != "") out = out ","
+                out = out sprintf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? 0 : allocs)
+            }
+            END {
+                printf "{\n  \"benchmarks\": [%s\n  ]\n}\n", out
+            }
+        '
+}
+
+case "$mode" in
+write)
+    run_bench > "$baseline"
+    echo "wrote $baseline:"
+    cat "$baseline"
+    ;;
+check)
+    current="${baseline%.json}_current.json"
+    run_bench > "$current"
+    echo "current results ($current):"
+    cat "$current"
+    python3 - "$baseline" "$current" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+NS_LIMIT = 3.0
+ALLOC_LIMIT = 2.0
+failed = False
+
+base_b = {b["name"]: b for b in base["benchmarks"]}
+cur_b = {b["name"]: b for b in cur["benchmarks"]}
+for name, b in base_b.items():
+    c = cur_b.get(name)
+    if c is None:
+        print(f"FAIL {name}: benchmark missing from current run")
+        failed = True
+        continue
+    ratio = c["ns_per_op"] / b["ns_per_op"]
+    status = "ok  "
+    if ratio > NS_LIMIT:
+        status, failed = "FAIL", True
+    print(f"{status} {name}: {c['ns_per_op']:.0f} ns/op vs baseline "
+          f"{b['ns_per_op']:.0f} ({ratio:.2f}x, limit {NS_LIMIT}x)")
+    if b.get("allocs_per_op"):
+        aratio = c["allocs_per_op"] / b["allocs_per_op"]
+        status = "ok  "
+        if aratio > ALLOC_LIMIT:
+            status, failed = "FAIL", True
+        print(f"{status} {name}: {c['allocs_per_op']} allocs/op vs baseline "
+              f"{b['allocs_per_op']} ({aratio:.2f}x, limit {ALLOC_LIMIT}x)")
+
+sys.exit(1 if failed else 0)
+EOF
+    ;;
+*)
+    echo "usage: $0 write|check [baseline.json]" >&2
+    exit 2
+    ;;
+esac
