@@ -7,6 +7,7 @@ package uvmasim_test
 // the reproduction's numbers next to the harness cost.
 
 import (
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -267,6 +268,55 @@ func BenchmarkFigureSuite(b *testing.B) {
 		}
 		if _, err := r.BreakdownComparison(workloads.Micro(), workloads.Large); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdCellMegaUVM measures cold single-cell latency at the
+// heaviest iterating cell — vector_seq under the combination setup at
+// the Mega (32 GB) input — with the default executor and iteration
+// fan-out. This is the latency the -itpar fan-out targets: without it a
+// lone cold cell runs its iterations serially and leaves every other
+// executor worker idle, so the 1-core and multi-core rows of
+// BENCH_suite.json bracket the speedup. A fresh seed per op keeps every
+// measurement cold.
+func BenchmarkColdCellMegaUVM(b *testing.B) {
+	w, err := workloads.ByName("vector_seq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner()
+		r.Iterations = 8
+		r.Cache = false
+		r.BaseSeed = int64(i + 1)
+		res, err := r.Measure(w, cuda.UVMPrefetchAsync, workloads.Mega)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Breakdowns) != 8 {
+			b.Fatalf("cold cell returned %d breakdowns", len(res.Breakdowns))
+		}
+	}
+}
+
+// BenchmarkServeColdFig7 measures the serve cold path end to end: a
+// fresh server (empty cell cache, no store) handles a POST for one
+// fig7 figure, so the request pays full simulation. The intra-cell
+// fan-out bounds this first-request latency on multi-core servers; the
+// single-core row is the serial reference.
+func BenchmarkServeColdFig7(b *testing.B) {
+	quiet := log.New(io.Discard, "", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := serve.New(serve.Config{Log: quiet})
+		spec := fmt.Sprintf(`{"figure":"fig7","iters":2,"seed":%d}`, i+1)
+		req := httptest.NewRequest(http.MethodPost, "/v1/experiments", strings.NewReader(spec))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("POST status %d: %s", w.Code, w.Body.String())
 		}
 	}
 }

@@ -26,8 +26,12 @@
 // Flags (before the subcommand): -i iterations (default 30), -seed,
 // -size (overrides the default class where applicable), -par executor
 // workers (0 = all cores, 1 = serial; output is byte-identical at any
-// setting), -json (emit figure data as a JSON document instead of the
-// text table), -profile (hardware profile: a built-in name or a profile
+// setting), -itpar intra-cell iteration workers (0 = executor width,
+// 1 = serial iterations; a cell's repetitions split across pooled
+// contexts and merge in iteration order, so output stays byte-identical
+// at any -par x -itpar combination), -json (emit figure data as a JSON
+// document instead of the text table), -profile (hardware profile: a
+// built-in name or a profile
 // JSON file; every experiment runs on that machine), -profiles (the
 // comma-separated machines compare-profiles sweeps), -workload and
 // -setup (select the traced/compared run; an empty -setup traces all
@@ -44,9 +48,10 @@
 // POST /v1/experiments computes figures (responses byte-identical to
 // -json output for the same spec), /metrics exposes the Prometheus
 // registry, /healthz reports readiness, /debug/pprof/ serves profiles.
-// It honors -addr, -max-inflight, -par, -cache-dir and -profile (the
-// default machine for specs that name none) and drains gracefully on
-// SIGTERM.
+// It honors -addr, -max-inflight (a worker-slot budget: each admitted
+// request claims its executor width), -par, -itpar, -cache-dir and
+// -profile (the default machine for specs that name none) and drains
+// gracefully on SIGTERM.
 //
 // The trace subcommand writes one Chrome trace-event file per setup,
 // named trace_<workload>_<setup>.json, loadable in Perfetto or
@@ -169,6 +174,7 @@ func run(args []string) error {
 	sizeName := fs.String("size", "", "override input-size class (tiny..mega)")
 	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model")
 	par := fs.Int("par", 0, "experiment executor workers (0 = all cores, 1 = serial); output is identical at any value")
+	itpar := fs.Int("itpar", 0, "intra-cell iteration workers (0 = executor width, 1 = serial iterations); output is identical at any value")
 	jsonOut := fs.Bool("json", false, "emit figure data as a JSON document instead of a text table")
 	workload := fs.String("workload", "gemm", "workload for the trace and compare-profiles subcommands")
 	setupName := fs.String("setup", "", "setup for the trace subcommand (empty = all five)")
@@ -209,6 +215,9 @@ func run(args []string) error {
 	if *par < 0 {
 		return fmt.Errorf("-par must be >= 0, got %d", *par)
 	}
+	if *itpar < 0 {
+		return fmt.Errorf("-itpar must be >= 0, got %d", *itpar)
+	}
 
 	// Validate everything cheap before the first simulation: subcommand
 	// names, the shard spec, output paths, profile files, the cell-store
@@ -227,7 +236,7 @@ func run(args []string) error {
 		if *shard != "" {
 			return fmt.Errorf("-shard does not apply to merge (it consumes shard artifacts)")
 		}
-		return runMerge(fs.Args()[1:], *par, *jsonOut, *cacheDir)
+		return runMerge(fs.Args()[1:], *par, *itpar, *jsonOut, *cacheDir)
 	}
 	if containsCmd(cmds, "serve") {
 		if len(cmds) != 1 {
@@ -236,7 +245,7 @@ func run(args []string) error {
 		if *shard != "" {
 			return fmt.Errorf("-shard does not apply to serve")
 		}
-		return runServe(*addr, *maxInflight, *par, *cacheDir, *prof)
+		return runServe(*addr, *maxInflight, *par, *itpar, *cacheDir, *prof)
 	}
 	shardIdx, shardCnt := 0, 0
 	if *shard != "" {
@@ -265,6 +274,7 @@ func run(args []string) error {
 	r.Iterations = *iters
 	r.BaseSeed = *seed
 	r.Parallelism = *par
+	r.IterParallelism = *itpar
 	// Every invocation carries a metrics registry: batch runs expose the
 	// same counter/histogram numbers in the cache-summary doc that a
 	// serve process exports over /metrics.
@@ -333,12 +343,15 @@ func run(args []string) error {
 		}
 	}
 	if shardCnt > 0 {
+		docs := r.Capture.Docs()
 		if err := emitShardArtifact(os.Stdout, shardArtifact{
-			Schema:     store.SchemaVersion,
-			Spec:       spec,
-			ShardIndex: shardIdx,
-			ShardCount: shardCnt,
-			Cells:      r.Capture.Docs(),
+			Schema:               store.SchemaVersion,
+			Spec:                 spec,
+			ShardIndex:           shardIdx,
+			ShardCount:           shardCnt,
+			EstimatedCellSeconds: estimateArtifactSeconds(spec, docs),
+			ActualCellSeconds:    r.SimulatedSeconds(),
+			Cells:                docs,
 		}); err != nil {
 			stopProfiles()
 			return err

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"uvmasim/internal/core"
+	"uvmasim/internal/cuda"
 	"uvmasim/internal/profile"
 	"uvmasim/internal/store"
 )
@@ -40,13 +41,74 @@ type shardSpec struct {
 	Profiles []profile.Profile `json:"profiles,omitempty"`
 }
 
-// shardArtifact is the printed product of a -shard run.
+// shardArtifact is the printed product of a -shard run. Besides the
+// cells it carries the shard's cost accounting: the static cost-model
+// estimate of its cells (deterministic, comparable across shards before
+// any run) and the wall seconds this producer actually spent
+// simulating (zero when every cell was a store hit). Merge reports the
+// balance across the partition from these fields.
 type shardArtifact struct {
-	Schema     int             `json:"schema"`
-	Spec       shardSpec       `json:"spec"`
-	ShardIndex int             `json:"shard_index"`
-	ShardCount int             `json:"shard_count"`
-	Cells      []store.CellDoc `json:"cells"`
+	Schema               int             `json:"schema"`
+	Spec                 shardSpec       `json:"spec"`
+	ShardIndex           int             `json:"shard_index"`
+	ShardCount           int             `json:"shard_count"`
+	EstimatedCellSeconds float64         `json:"estimated_cell_seconds"`
+	ActualCellSeconds    float64         `json:"actual_cell_seconds"`
+	Cells                []store.CellDoc `json:"cells"`
+}
+
+// estimateArtifactSeconds sums the static cost-model estimate over a
+// shard's captured cells. Each cell is estimated under the hardware
+// profile it actually ran on (matched by fingerprint — compare-profiles
+// shards mix machines), falling back to the spec's default profile for
+// unknown fingerprints.
+func estimateArtifactSeconds(spec shardSpec, docs []store.CellDoc) float64 {
+	cfgByFP := map[string]cuda.SystemConfig{spec.Profile.Fingerprint(): spec.Profile.Config}
+	for _, p := range spec.Profiles {
+		cfgByFP[p.Fingerprint()] = p.Config
+	}
+	var total float64
+	for _, doc := range docs {
+		cfg, ok := cfgByFP[doc.Key.ProfileFP]
+		if !ok {
+			cfg = spec.Profile.Config
+		}
+		total += core.EstimateCellSeconds(cfg, doc)
+	}
+	return total
+}
+
+// printShardBalance reports how evenly the partition spread its cost —
+// on stderr, so merged stdout stays byte-identical to the unsharded
+// run. Estimated seconds show what the static partitioner promised;
+// actual seconds show what each producer really paid (zero for fully
+// store-warm shards, which is why the two columns can disagree).
+func printShardBalance(w io.Writer, files []string, arts []shardArtifact) {
+	if len(arts) < 2 {
+		return
+	}
+	var estSum, estMax, actSum, actMax float64
+	for _, art := range arts {
+		estSum += art.EstimatedCellSeconds
+		actSum += art.ActualCellSeconds
+		estMax = max(estMax, art.EstimatedCellSeconds)
+		actMax = max(actMax, art.ActualCellSeconds)
+	}
+	n := float64(len(arts))
+	fmt.Fprintf(w, "shard balance: %d shards, estimated max/mean %.2f, actual max/mean %.2f\n",
+		len(arts), ratioOrZero(estMax, estSum/n), ratioOrZero(actMax, actSum/n))
+	for i, art := range arts {
+		fmt.Fprintf(w, "  shard %d/%d %s: %d cells, estimated %.3fs, actual %.3fs\n",
+			art.ShardIndex, art.ShardCount, files[i], len(art.Cells),
+			art.EstimatedCellSeconds, art.ActualCellSeconds)
+	}
+}
+
+func ratioOrZero(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
 }
 
 // parseShard parses the -shard flag's "i/n" form (1-based index).
@@ -85,7 +147,7 @@ func emitShardArtifact(w io.Writer, art shardArtifact) error {
 // it. Cells all hit the store, so the merge simulates nothing — and if
 // an artifact were somehow missing a cell, the replay would recompute
 // it, yielding the same bytes (cells are pure functions of their keys).
-func runMerge(files []string, par int, jsonOut bool, cacheDir string) error {
+func runMerge(files []string, par, itpar int, jsonOut bool, cacheDir string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("usage: uvmbench merge <shard.json> ...")
 	}
@@ -133,6 +195,7 @@ func runMerge(files []string, par int, jsonOut bool, cacheDir string) error {
 			return fmt.Errorf("incomplete partition: shard %d/%d missing", i, n)
 		}
 	}
+	printShardBalance(os.Stderr, files, arts)
 
 	spec := arts[0].Spec
 	if err := spec.Profile.Validate(); err != nil {
@@ -157,6 +220,7 @@ func runMerge(files []string, par int, jsonOut bool, cacheDir string) error {
 	r.Iterations = spec.Iters
 	r.BaseSeed = spec.Seed
 	r.Parallelism = par
+	r.IterParallelism = itpar
 	r.Store = mem
 	if cacheDir != "" {
 		// Also persist the merged cells, so the union of shard runs

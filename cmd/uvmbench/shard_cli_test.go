@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,22 +53,70 @@ func TestShardMergeByteIdentity(t *testing.T) {
 
 // TestShardArtifactDeterminism: a shard artifact is byte-identical at
 // any executor parallelism (cells serialize sorted by key, not in
-// completion order).
+// completion order) — except the actual-seconds field, which records
+// real wall time and is normalized to zero before comparing.
 func TestShardArtifactDeterminism(t *testing.T) {
-	serial := capture(t, "-i", "2", "-par", "1", "-shard", "1/2", "all")
-	wide := capture(t, "-i", "2", "-par", "8", "-shard", "1/2", "all")
-	if serial != wide {
-		t.Error("shard artifact differs between -par 1 and -par 8")
+	stripActual := func(raw string) (string, shardArtifact) {
+		t.Helper()
+		var art shardArtifact
+		if err := json.Unmarshal([]byte(raw), &art); err != nil {
+			t.Fatalf("artifact is not valid JSON: %v", err)
+		}
+		art.ActualCellSeconds = 0
+		b, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), art
 	}
-	var art shardArtifact
-	if err := json.Unmarshal([]byte(serial), &art); err != nil {
-		t.Fatalf("artifact is not valid JSON: %v", err)
+	serial, art := stripActual(capture(t, "-i", "2", "-par", "1", "-shard", "1/2", "all"))
+	wide, _ := stripActual(capture(t, "-i", "2", "-par", "8", "-itpar", "4", "-shard", "1/2", "all"))
+	if serial != wide {
+		t.Error("shard artifact differs between -par 1 and -par 8 -itpar 4")
 	}
 	if art.ShardIndex != 1 || art.ShardCount != 2 {
 		t.Errorf("artifact labeled %d/%d, want 1/2", art.ShardIndex, art.ShardCount)
 	}
 	if len(art.Cells) == 0 {
 		t.Error("shard 1/2 of `all` captured no cells")
+	}
+	if art.EstimatedCellSeconds <= 0 {
+		t.Errorf("estimated cell seconds = %g, want > 0", art.EstimatedCellSeconds)
+	}
+}
+
+// TestShardCostEstimatesConsistent: the per-shard static cost estimates
+// cover the whole cell grid — for any partition width, the shard
+// estimates sum to the 1-shard total (each cell is estimated by a pure
+// function of its key, and the partition is a disjoint cover).
+func TestShardCostEstimatesConsistent(t *testing.T) {
+	artifact := func(args ...string) shardArtifact {
+		t.Helper()
+		var art shardArtifact
+		if err := json.Unmarshal([]byte(capture(t, args...)), &art); err != nil {
+			t.Fatal(err)
+		}
+		return art
+	}
+	whole := artifact("-i", "2", "-shard", "1/1", "all")
+	if whole.EstimatedCellSeconds <= 0 {
+		t.Fatalf("whole-grid estimate = %g, want > 0", whole.EstimatedCellSeconds)
+	}
+	for _, n := range []int{2, 3} {
+		var sum float64
+		var cells int
+		for i := 1; i <= n; i++ {
+			art := artifact("-i", "2", "-shard", fmt.Sprintf("%d/%d", i, n), "all")
+			sum += art.EstimatedCellSeconds
+			cells += len(art.Cells)
+		}
+		if cells != len(whole.Cells) {
+			t.Errorf("n=%d: shards cover %d cells, whole grid has %d", n, cells, len(whole.Cells))
+		}
+		if diff := math.Abs(sum-whole.EstimatedCellSeconds) / whole.EstimatedCellSeconds; diff > 1e-9 {
+			t.Errorf("n=%d: shard estimates sum to %g, whole grid %g (rel diff %g)",
+				n, sum, whole.EstimatedCellSeconds, diff)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -108,13 +109,26 @@ func (r *Runner) parallelism() int {
 // destination, which keeps the merge deterministic regardless of
 // completion order. The returned error is the lowest-index failure,
 // matching what the serial loop would have reported.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	return r.forEachOrdered(n, nil, fn)
+}
+
+// forEachOrdered is forEach with an explicit dispatch order: workers
+// claim items as order[0], order[1], ..., while every result still
+// lands in its own index slot, so a cost-descending order (see
+// lptOrder) shortens the makespan without touching the deterministic
+// serial-order merge or the lowest-index error semantics. A nil order
+// means identity. The inline fast path deliberately ignores the order:
+// with a single worker the makespan equals the total either way, and
+// index order preserves the legacy first-error behavior and the
+// alloc-free guarantee.
 //
 // The fan-out machinery (error slice, atomic cursor, goroutines) is paid
 // only after at least one spare worker token is actually acquired: with
 // an effective parallelism of 1, on a zero-value Runner, or in a nested
 // fan-out whose pool is already saturated, the loop runs inline on the
 // calling goroutine and allocates nothing.
-func (r *Runner) forEach(n int, fn func(i int) error) error {
+func (r *Runner) forEachOrdered(n int, order []int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -136,9 +150,13 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 	next.Store(-1)
 	work := func() {
 		for {
-			i := int(next.Add(1))
-			if i >= n {
+			j := int(next.Add(1))
+			if j >= n {
 				return
+			}
+			i := j
+			if order != nil {
+				i = order[j]
 			}
 			errs[i] = fn(i)
 		}
@@ -207,10 +225,26 @@ type cellCache struct {
 	// the whole family shares one cache.
 	storeHits   atomic.Uint64
 	storeMisses atomic.Uint64
+	// simSecondsBits accumulates the wall seconds actually spent
+	// simulating cells (float64 bits, CAS-added), across the whole
+	// Runner family. Shard artifacts embed it as the shard's actual
+	// cell-seconds, which is what makes shard imbalance observable.
+	simSecondsBits atomic.Uint64
 	// inst holds the optional metric hooks attached by
 	// Runner.InstrumentMetrics. The zero value disables them; see
 	// metrics.go.
 	inst cellInstruments
+}
+
+// addSimSeconds accumulates simulated wall time lock-free.
+func (c *cellCache) addSimSeconds(s float64) {
+	for {
+		old := c.simSecondsBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + s)
+		if c.simSecondsBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
 }
 
 func newCellCache() *cellCache {
@@ -275,11 +309,8 @@ func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, comp
 		}
 	}
 	if r.Store == nil && r.Capture == nil {
-		if r.cache.inst.cellSeconds == nil {
-			return r.cache.do(key, compute)
-		}
 		return r.cache.do(key, func() (Result, error) {
-			return r.cache.inst.run(compute)
+			return r.timedCompute(kind, setup, size, compute)
 		})
 	}
 	skey := storeKeyOf(key)
@@ -293,7 +324,7 @@ func (r *Runner) cached(kind string, setup cuda.Setup, size workloads.Size, comp
 			r.cache.storeMisses.Add(1)
 			r.cache.inst.storeMisses.Inc()
 		}
-		res, err := r.cache.inst.run(compute)
+		res, err := r.timedCompute(kind, setup, size, compute)
 		if err == nil && r.Store != nil {
 			// Best-effort write-back: a failed Put costs a future
 			// recompute, never a wrong result.
@@ -344,4 +375,16 @@ func (r *Runner) StoreMisses() uint64 {
 		return 0
 	}
 	return r.cache.storeMisses.Load()
+}
+
+// SimulatedSeconds reports the wall seconds this Runner family has
+// spent actually simulating cells (cache and store hits excluded). It
+// is a measurement, not a pure function of the cell grid — shard
+// artifacts record it as the shard's actual cost next to the
+// deterministic cost-model estimate.
+func (r *Runner) SimulatedSeconds() float64 {
+	if r.cache == nil {
+		return 0
+	}
+	return math.Float64frombits(r.cache.simSecondsBits.Load())
 }

@@ -5,6 +5,7 @@ import (
 
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/stats"
+	"uvmasim/internal/trace"
 	"uvmasim/internal/workloads"
 )
 
@@ -36,10 +37,15 @@ func (r *Runner) Distributions(ws []workloads.Workload, sizes []workloads.Size) 
 	}
 	nSetups := len(cuda.AllSetups)
 	cells := make([]DistCell, len(ws)*len(sizes)*nSetups)
-	err := r.forEach(len(cells), func(i int) error {
-		w := ws[i/(len(sizes)*nSetups)]
-		size := sizes[(i/nSetups)%len(sizes)]
-		setup := cuda.AllSetups[i%nSetups]
+	at := func(i int) (workloads.Workload, workloads.Size, cuda.Setup) {
+		return ws[i/(len(sizes)*nSetups)], sizes[(i/nSetups)%len(sizes)], cuda.AllSetups[i%nSetups]
+	}
+	order := r.lptOrder(len(cells), func(i int) float64 {
+		w, size, setup := at(i)
+		return r.cellCost(w.Name(), setup, size)
+	})
+	err := r.forEachOrdered(len(cells), order, func(i int) error {
+		w, size, setup := at(i)
 		res, err := r.Measure(w, setup, size)
 		if err != nil {
 			return err
@@ -153,7 +159,10 @@ type BreakdownStudy struct {
 func (r *Runner) BreakdownComparison(ws []workloads.Workload, size workloads.Size) (*BreakdownStudy, error) {
 	nSetups := len(cuda.AllSetups)
 	grid := make([]cuda.Breakdown, len(ws)*nSetups)
-	err := r.forEach(len(grid), func(i int) error {
+	order := r.lptOrder(len(grid), func(i int) float64 {
+		return r.cellCost(ws[i/nSetups].Name(), cuda.AllSetups[i%nSetups], size)
+	})
+	err := r.forEachOrdered(len(grid), order, func(i int) error {
 		res, err := r.Measure(ws[i/nSetups], cuda.AllSetups[i%nSetups], size)
 		if err != nil {
 			return err
@@ -254,7 +263,10 @@ func (r *Runner) CounterComparison(names []string, size workloads.Size) (*Counte
 	single.Iterations = 1
 	nSetups := len(cuda.AllSetups)
 	rows := make([]CounterRow, len(ws)*nSetups)
-	err := single.forEach(len(rows), func(i int) error {
+	order := single.lptOrder(len(rows), func(i int) float64 {
+		return single.cellCost(names[i/nSetups], cuda.AllSetups[i%nSetups], size)
+	})
+	err := single.forEachOrdered(len(rows), order, func(i int) error {
 		name := names[i/nSetups]
 		setup := cuda.AllSetups[i%nSetups]
 		res, err := single.Measure(ws[i/nSetups], setup, size)
@@ -314,7 +326,12 @@ func (r *Runner) sweep(name, paramName string, size workloads.Size, params []flo
 	opt func(p float64) workloads.SensitivityOptions) (*Sweep, error) {
 	nSetups := len(cuda.AllSetups)
 	grid := make([]cuda.Breakdown, len(params)*nSetups)
-	err := r.forEach(len(grid), func(i int) error {
+	order := r.lptOrder(len(grid), func(i int) float64 {
+		p := params[i/nSetups]
+		setup := cuda.AllSetups[i%nSetups]
+		return r.cellCost(fmt.Sprintf("sweep:%s:%g", name, p), setup, size)
+	})
+	err := r.forEachOrdered(len(grid), order, func(i int) error {
 		p := params[i/nSetups]
 		setup := cuda.AllSetups[i%nSetups]
 		kind := fmt.Sprintf("sweep:%s:%g", name, p)
@@ -338,30 +355,22 @@ func (r *Runner) sweep(name, paramName string, size workloads.Size, params []flo
 }
 
 // sweepCell measures the repeated iterations of one sensitivity cell,
-// each from its own derived seed, in iteration order on one pooled
-// context (see measureCell).
+// each from its own derived seed, through the same deterministic
+// iteration fan-out as measureCell. Sweep results carry no counters
+// (final is nil), keeping the stored artifacts identical to the
+// pre-fan-out format.
 func (r *Runner) sweepCell(name string, setup cuda.Setup, size workloads.Size,
 	p float64, opts workloads.SensitivityOptions) (Result, error) {
-	iters := r.iters()
-	res := Result{Setup: setup, Size: size, Breakdowns: make([]cuda.Breakdown, iters)}
+	res := Result{Setup: setup, Size: size, Breakdowns: make([]cuda.Breakdown, r.iters())}
 	seed := func(i int) int64 { return r.seedFor(name, setup, size, i) + int64(p*17) }
-	ctx := r.acquireCtx(setup, seed(0))
-	defer r.releaseCtx(ctx)
-	for i := 0; i < iters; i++ {
-		if i > 0 {
-			ctx.Reset(r.Config, setup, seed(i))
-		}
-		if r.TraceHook != nil {
-			if tr := r.TraceHook(name, setup, size, i); tr != nil {
-				ctx.SetTracer(tr)
-			}
-		}
-		if err := workloads.RunVectorSeqSensitivity(ctx, size, opts); err != nil {
-			return res, err
-		}
-		res.Breakdowns[i] = ctx.Breakdown()
+	var hook func(i int) *trace.Tracer
+	if r.TraceHook != nil {
+		hook = func(i int) *trace.Tracer { return r.TraceHook(name, setup, size, i) }
 	}
-	return res, nil
+	err := r.cellLoop(setup, seed, hook, func(ctx *cuda.Context, i int) error {
+		return workloads.RunVectorSeqSensitivity(ctx, size, opts)
+	}, res.Breakdowns, nil)
+	return res, err
 }
 
 // SweepBlocks is Figure 11: vary the number of blocks with 256 threads.

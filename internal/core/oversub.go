@@ -51,7 +51,10 @@ func (r *Runner) Oversubscription(setup cuda.Setup, ratios []float64, passes int
 	}
 	study := &OversubStudy{Setup: setup, Points: make([]OversubPoint, len(ratios))}
 	capacity := int64(float64(r.Config.GPU.HBMCapacity) * r.Config.ManagedCapacityFraction)
-	err := r.forEach(len(ratios), func(i int) error {
+	order := r.lptOrder(len(ratios), func(i int) float64 {
+		return r.cellCost(fmt.Sprintf("oversub:%g:%d", ratios[i], passes), setup, workloads.Tiny)
+	})
+	err := r.forEachOrdered(len(ratios), order, func(i int) error {
 		ratio := ratios[i]
 		footprint := int64(ratio * float64(capacity))
 		// Each point is one cacheable cell: %g round-trips the ratio

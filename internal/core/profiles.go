@@ -79,7 +79,14 @@ func (r *Runner) CompareProfiles(ps []profile.Profile, name string, size workloa
 	}
 	nSetups := len(cuda.AllSetups)
 	grid := make([]cuda.Breakdown, len(ps)*nSetups)
-	err = r.forEach(len(grid), func(i int) error {
+	order := r.lptOrder(len(grid), func(i int) float64 {
+		// Static cost only: the cells run under each profile's own
+		// config, not the runner's, so observed costs keyed to r.Config
+		// would mislead here.
+		p := ps[i/nSetups]
+		return staticCellSeconds(p.Config, name, cuda.AllSetups[i%nSetups], size, r.iters())
+	})
+	err = r.forEachOrdered(len(grid), order, func(i int) error {
 		p := ps[i/nSetups]
 		setup := cuda.AllSetups[i%nSetups]
 		// The copy shares the executor and cell cache with r; its

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"uvmasim/internal/counters"
 	"uvmasim/internal/cuda"
@@ -41,6 +42,16 @@ type Runner struct {
 	// worker-token pool is sized on first use, so set it before running
 	// studies.
 	Parallelism int
+	// IterParallelism is the intra-cell fan-out width: a cell's
+	// iterations are split into up to this many contiguous blocks, each
+	// simulated on its own pooled context, with per-iteration
+	// Breakdowns written into their index slots (see cellLoop). Zero or
+	// negative means the executor's width. The fan-out draws from the
+	// same worker-token pool as the cell executor, so total concurrency
+	// never exceeds Parallelism; output is byte-identical at any
+	// (Parallelism, IterParallelism) combination because every
+	// iteration keeps its own seed and slot.
+	IterParallelism int
 	// Cache enables the cross-figure cell cache: identical
 	// (workload, setup, size, iterations, seed, config) cells are
 	// computed once and shared. Disable it to force every study to
@@ -72,12 +83,16 @@ type Runner struct {
 	// each cell binds its own tracer, tracing composes with the parallel
 	// executor. A non-nil hook bypasses the cell cache (a cached Result
 	// carries no timeline), and attaching a tracer never changes
-	// simulated timing, so traced breakdowns equal untraced ones.
+	// simulated timing, so traced breakdowns equal untraced ones. With
+	// IterParallelism > 1 the hook may be called from concurrent
+	// iteration blocks, so it must be safe for concurrent use (the
+	// package's own hooks are: they key on the iteration index).
 	TraceHook func(workload string, setup cuda.Setup, size workloads.Size, iter int) *trace.Tracer
 
 	exec  *executor
 	cache *cellCache
 	pool  *contextPool
+	costs *costModel
 }
 
 // NewRunner returns a Runner with the paper's defaults: the default
@@ -99,6 +114,7 @@ func NewRunnerFor(p profile.Profile) *Runner {
 		exec:       &executor{},
 		cache:      newCellCache(),
 		pool:       &contextPool{},
+		costs:      newCostModel(),
 	}
 }
 
@@ -141,9 +157,16 @@ type Result struct {
 	Size     workloads.Size
 
 	Breakdowns []cuda.Breakdown
-	// Counters from the final iteration (counter values are
-	// deterministic given the seed; the paper likewise profiles counters
-	// in dedicated runs).
+	// Counters is the hardware-counter snapshot of the cell's FINAL
+	// iteration (index Iterations-1), not an aggregate across
+	// iterations. Counter values are deterministic given that
+	// iteration's seed — the paper likewise profiles counters in
+	// dedicated runs — and the contract holds on every execution path:
+	// the serial loop snapshots after its last iteration, and the
+	// intra-cell fan-out (IterParallelism > 1) assigns the snapshot
+	// from whichever block owns the final iteration, so fan-out and
+	// serial runs report identical counters (pinned by
+	// TestFanoutCountersMatchSerial).
 	Counters counters.Set
 }
 
@@ -206,48 +229,123 @@ func (r *Runner) Measure(w workloads.Workload, setup cuda.Setup, size workloads.
 	})
 }
 
-// measureCell simulates every iteration of one cell on one pooled
-// context, resetting it between iterations (per-iteration seeds make
-// each reset run identical to a fresh context). Cells — not iterations —
-// are the unit of executor parallelism, so the context is exclusively
-// this cell's for the whole loop and a warmed-up iteration allocates
-// nothing.
+// iterPar resolves the effective intra-cell fan-out width:
+// IterParallelism if set, otherwise the executor's width.
+func (r *Runner) iterPar() int {
+	if r.IterParallelism > 0 {
+		return r.IterParallelism
+	}
+	return r.parallelism()
+}
+
+// cellLoop simulates the iterations of one cell — len(out) of them —
+// and is the single implementation under measureCell and sweepCell.
+// Iterations are split into up to iterPar() contiguous blocks; each
+// block acquires its own pooled context, seeds it per iteration with
+// seed(i) (a Reset run is pinned bit-identical to a fresh context, so
+// block boundaries are invisible in the results), and writes each
+// Breakdown into its index slot. Blocks fan out through the shared
+// worker-token pool — the same budget the cell executor draws from —
+// so a saturated pool degrades to running the blocks inline, and a cold
+// single-cell request gets the executor's full width. The block owning
+// the final iteration snapshots the context's counters into final (when
+// non-nil), which keeps Result.Counters' final-iteration contract exact
+// at any fan-out. The per-iteration body allocates nothing; hook (may
+// be nil) is the TraceHook binding and must tolerate concurrent calls.
+// The returned error is the lowest-indexed failing block's first error.
+func (r *Runner) cellLoop(setup cuda.Setup, seed func(i int) int64, hook func(i int) *trace.Tracer,
+	run func(ctx *cuda.Context, i int) error, out []cuda.Breakdown, final *counters.Set) error {
+	iters := len(out)
+	inst := &noInstruments
+	if r.cache != nil {
+		inst = &r.cache.inst
+	}
+	block := func(lo, hi int) error {
+		ctx := r.acquireCtx(setup, seed(lo))
+		defer r.releaseCtx(ctx)
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				ctx.Reset(r.Config, setup, seed(i))
+			}
+			if hook != nil {
+				if tr := hook(i); tr != nil {
+					ctx.SetTracer(tr)
+				}
+			}
+			if inst.iterSeconds != nil {
+				inst.itersInFlight.Add(1)
+				start := time.Now()
+				err := run(ctx, i)
+				inst.iterSeconds.Observe(time.Since(start).Seconds())
+				inst.itersInFlight.Add(-1)
+				if err != nil {
+					return err
+				}
+			} else if err := run(ctx, i); err != nil {
+				return err
+			}
+			out[i] = ctx.Breakdown()
+			if final != nil && i == iters-1 {
+				*final = *ctx.Counters()
+			}
+		}
+		return nil
+	}
+	k := r.iterPar()
+	if k > iters {
+		k = iters
+	}
+	if k <= 1 {
+		return block(0, iters)
+	}
+	return r.forEach(k, func(b int) error {
+		return block(b*iters/k, (b+1)*iters/k)
+	})
+}
+
+// measureCell simulates every iteration of one cell, fanning contiguous
+// iteration blocks across pooled contexts (cellLoop). Per-iteration
+// seeds make every block's reset runs identical to fresh contexts, so
+// the cell's Result is byte-identical at any fan-out width, and a
+// warmed-up iteration allocates nothing.
 func (r *Runner) measureCell(w workloads.Workload, setup cuda.Setup, size workloads.Size) (Result, error) {
 	iters := r.iters()
+	name := w.Name()
 	res := Result{
-		Workload:   w.Name(),
+		Workload:   name,
 		Setup:      setup,
 		Size:       size,
 		Breakdowns: make([]cuda.Breakdown, iters),
 	}
-	ctx := r.acquireCtx(setup, r.seedFor(w.Name(), setup, size, 0))
-	defer r.releaseCtx(ctx)
-	for i := 0; i < iters; i++ {
-		if i > 0 {
-			ctx.Reset(r.Config, setup, r.seedFor(w.Name(), setup, size, i))
-		}
-		if r.TraceHook != nil {
-			if tr := r.TraceHook(w.Name(), setup, size, i); tr != nil {
-				ctx.SetTracer(tr)
+	var hook func(i int) *trace.Tracer
+	if r.TraceHook != nil {
+		hook = func(i int) *trace.Tracer { return r.TraceHook(name, setup, size, i) }
+	}
+	err := r.cellLoop(setup,
+		func(i int) int64 { return r.seedFor(name, setup, size, i) },
+		hook,
+		func(ctx *cuda.Context, i int) error {
+			if err := w.Run(ctx, size); err != nil {
+				return fmt.Errorf("core: %s/%s/%s iteration %d: %w", name, setup, size, i, err)
 			}
-		}
-		if err := w.Run(ctx, size); err != nil {
-			return Result{Workload: w.Name(), Setup: setup, Size: size},
-				fmt.Errorf("core: %s/%s/%s iteration %d: %w", w.Name(), setup, size, i, err)
-		}
-		res.Breakdowns[i] = ctx.Breakdown()
-		if i == iters-1 {
-			res.Counters = *ctx.Counters()
-		}
+			return nil
+		},
+		res.Breakdowns, &res.Counters)
+	if err != nil {
+		return Result{Workload: name, Setup: setup, Size: size}, err
 	}
 	return res, nil
 }
 
 // MeasureAllSetups measures one workload at one size under all five
-// setups, returned in the paper's order.
+// setups, returned in the paper's order. Managed setups cost several
+// times their explicit-copy peers, so the dispatch is cost-ordered.
 func (r *Runner) MeasureAllSetups(w workloads.Workload, size workloads.Size) ([]Result, error) {
 	out := make([]Result, len(cuda.AllSetups))
-	err := r.forEach(len(out), func(i int) error {
+	order := r.lptOrder(len(out), func(i int) float64 {
+		return r.cellCost(w.Name(), cuda.AllSetups[i], size)
+	})
+	err := r.forEachOrdered(len(out), order, func(i int) error {
 		res, err := r.Measure(w, cuda.AllSetups[i], size)
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"uvmasim/internal/gpu"
 	"uvmasim/internal/hostmem"
 	"uvmasim/internal/pcie"
+	"uvmasim/internal/seedrng"
 	"uvmasim/internal/sim"
 	"uvmasim/internal/trace"
 	"uvmasim/internal/uvm"
@@ -74,7 +75,10 @@ func NewContext(cfg SystemConfig, setup Setup, seed int64) *Context {
 		host:  hostmem.New(cfg.Host),
 		dev:   devmem.NewAllocator(cfg.GPU.HBMCapacity),
 		ctrs:  ctrs,
-		rng:   rand.New(rand.NewSource(seed)),
+		// seedrng reproduces rand.NewSource(seed)'s stream exactly while
+		// making the per-iteration reseed in Reset a state copy instead of
+		// a full generator expansion (see internal/seedrng).
+		rng: rand.New(seedrng.New(seed)),
 	}
 	ctx.host.Randomize(ctx.rng)
 	ctx.overhead = cfg.SystemOverheadNs * ctx.jitter(cfg.OverheadJitterRel)

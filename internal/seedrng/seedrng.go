@@ -1,0 +1,154 @@
+// Package seedrng is a drop-in math/rand Source64 that makes reseeding
+// cheap. The harness pins determinism by reseeding one context per
+// iteration (cuda.Context.Reset), and math/rand's generator pays a full
+// additive-lagged-Fibonacci state expansion — ~607 LCG scrambles plus a
+// warm-up pass — on every Seed call. Profiles put that expansion at ~8%
+// of a warmed simulation iteration (EXPERIMENTS.md, GC-free section).
+//
+// This package removes the floor without changing a single draw: the
+// expanded 607-word state of each seed is computed once (with math/rand
+// itself, so the stream is identical by construction), memoized in a
+// bounded process-wide cache, and every later Seed of the same value
+// restores it with one memcpy. The memoized state is the generator's
+// state *after* the first 607 outputs; restoring replays those outputs
+// from the state words themselves — during the first full lap of the
+// feedback ring, every slot is written exactly once with the value the
+// generator emitted, so the cached array doubles as the output log.
+//
+// The cache only trades memory for speed: eviction or a cold cache
+// falls back to math/rand's own expansion, and a replay test pins both
+// paths to the reference stream word for word.
+package seedrng
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// ringLen is math/rand's additive-generator ring length (its private
+// rngLen). The generator is frozen by the Go 1 compatibility promise —
+// rand.NewSource(seed) must produce the same stream forever — so these
+// structural constants are stable. The replay test cross-checks them
+// against math/rand on every run.
+const ringLen = 607
+
+// feedStart and tapStart are the ring positions math/rand's Seed
+// leaves its feed and tap pointers at (rngLen-rngTap = 607-273 = 334,
+// and 0). Both pointers step backwards one slot per draw.
+const (
+	feedStart = ringLen - 273
+	tapStart  = 0
+)
+
+// maxCached bounds the seed-state cache: 4096 entries x ~4.9 KB. The
+// harness's seed space per process is far smaller (seeds recur across
+// the five setups of every cell), so eviction is a safety valve, not a
+// steady state. Eviction order is arbitrary — the cache affects speed
+// only, never a draw.
+const maxCached = 4096
+
+var (
+	cacheMu sync.RWMutex
+	cache   = make(map[int64]*[ringLen]int64)
+)
+
+// cachedState returns the memoized post-expansion state for seed,
+// expanding and memoizing it on first use. The returned array is shared
+// and must not be written.
+func cachedState(seed int64) *[ringLen]int64 {
+	cacheMu.RLock()
+	st, ok := cache[seed]
+	cacheMu.RUnlock()
+	if ok {
+		return st
+	}
+	st = expand(seed)
+	cacheMu.Lock()
+	if have, ok := cache[seed]; ok {
+		st = have
+	} else {
+		if len(cache) >= maxCached {
+			for k := range cache {
+				delete(cache, k)
+				break
+			}
+		}
+		cache[seed] = st
+	}
+	cacheMu.Unlock()
+	return st
+}
+
+// expand runs math/rand's own seed expansion and drains one full lap of
+// the ring. Draw k (1-based) writes the generator's k-th output into
+// ring slot (feedStart-k) mod ringLen, and each slot is written exactly
+// once during the lap, so the final state is also the output log the
+// restore path replays.
+func expand(seed int64) *[ringLen]int64 {
+	src := rand.NewSource(seed).(rand.Source64)
+	var st [ringLen]int64
+	feed := feedStart
+	for k := 0; k < ringLen; k++ {
+		feed--
+		if feed < 0 {
+			feed += ringLen
+		}
+		st[feed] = int64(src.Uint64())
+	}
+	return &st
+}
+
+// Source is a rand.Source64 producing exactly rand.NewSource(seed)'s
+// stream, with Seed restored by copy from the process-wide state cache.
+// Like math/rand's own source it is not safe for concurrent use; the
+// cache behind it is.
+type Source struct {
+	vec    [ringLen]int64
+	tap    int
+	feed   int
+	replay int // outputs left to replay from vec before resuming the recurrence
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source to the expanded state of seed: one array copy
+// on a cache hit, math/rand's full expansion (which then populates the
+// cache) on a miss.
+func (s *Source) Seed(seed int64) {
+	s.vec = *cachedState(seed)
+	s.tap = tapStart
+	s.feed = feedStart
+	s.replay = ringLen
+}
+
+// Uint64 returns the next value of the stream. While replaying the
+// first lap, the pre-recorded outputs are read from the state words in
+// place (they already hold their final values); afterwards the additive
+// recurrence runs exactly as in math/rand.
+func (s *Source) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += ringLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += ringLen
+	}
+	if s.replay > 0 {
+		s.replay--
+		return uint64(s.vec[s.feed])
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 returns the next value masked to 63 bits, as math/rand does.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() &^ (1 << 63))
+}

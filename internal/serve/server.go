@@ -29,12 +29,20 @@ type Config struct {
 	// directory, probed for writability by /healthz ("" = no probe).
 	Store    core.CellStore
 	StoreDir string
-	// MaxInFlight bounds concurrently admitted experiment requests;
-	// excess requests get 429 + Retry-After immediately instead of
-	// queueing behind the executor (<=0 = GOMAXPROCS).
+	// MaxInFlight is the admission budget in worker slots, not
+	// requests: each admitted experiment claims as many slots as its
+	// executor width (clamped to the budget, so one maximal request
+	// always fits), and requests that would overdraw the budget get
+	// 429 + Retry-After immediately instead of queueing behind the
+	// executor (<=0 = GOMAXPROCS). With Parallelism 1 this degrades to
+	// the old requests count; with wide executors it keeps the total
+	// worker count — not merely the request count — bounded.
 	MaxInFlight int
 	// Parallelism is each runner's executor width (the CLI's -par).
 	Parallelism int
+	// IterParallelism is each runner's intra-cell iteration fan-out
+	// (the CLI's -itpar); requests may override it per spec.
+	IterParallelism int
 	// Registry receives every metric the server and the instrumented
 	// harness layers expose (nil = a private registry).
 	Registry *metrics.Registry
@@ -54,7 +62,7 @@ type Server struct {
 	def      profile.Profile
 	reg      *metrics.Registry
 	log      *log.Logger
-	sem      chan struct{}
+	slots    slotPool
 	handler  http.Handler
 	draining atomic.Bool
 	reqSeq   atomic.Uint64
@@ -66,9 +74,41 @@ type Server struct {
 	reqSeconds    *metrics.Histogram
 	httpInflight  *metrics.Gauge
 	expInflight   *metrics.Gauge
+	slotsUsed     *metrics.Gauge
 	rejected      *metrics.Counter
 	goroutines    *metrics.Gauge
 	uptimeSeconds *metrics.Gauge
+}
+
+// slotPool is the weighted admission budget: capacity and usage are
+// counted in executor worker slots, so admission throttles the actual
+// simulation concurrency rather than a request count that ignores how
+// wide each request's executor fans out.
+type slotPool struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+}
+
+// tryAcquire claims weight slots. The weight is clamped to the pool's
+// capacity so a request wider than the whole budget can still run —
+// alone — rather than deadlocking behind an unsatisfiable demand.
+// Returns the granted weight for the matching release.
+func (p *slotPool) tryAcquire(weight int) (int, bool) {
+	weight = max(1, min(weight, p.capacity))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.used+weight > p.capacity {
+		return 0, false
+	}
+	p.used += weight
+	return weight, true
+}
+
+func (p *slotPool) release(weight int) {
+	p.mu.Lock()
+	p.used -= weight
+	p.mu.Unlock()
 }
 
 // New builds a Server from cfg and registers its serving-plane metrics.
@@ -87,7 +127,7 @@ func New(cfg Config) *Server {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s.sem = make(chan struct{}, n)
+	s.slots.capacity = n
 	s.runners = make(map[string]*core.Runner)
 	s.start = time.Now()
 
@@ -97,8 +137,10 @@ func New(cfg Config) *Server {
 		"HTTP requests currently being served.")
 	s.expInflight = s.reg.Gauge("uvmbench_experiments_inflight",
 		"Experiment requests currently holding an admission slot.")
+	s.slotsUsed = s.reg.Gauge("uvmbench_admission_slots_used",
+		"Worker slots currently claimed by admitted experiment requests.")
 	s.rejected = s.reg.Counter("uvmbench_admission_rejections_total",
-		"Experiment requests rejected with 429 because every admission slot was busy.")
+		"Experiment requests rejected with 429 because the worker-slot budget was exhausted.")
 	s.goroutines = s.reg.Gauge("uvmbench_process_goroutines",
 		"Goroutines at scrape time.")
 	s.uptimeSeconds = s.reg.Gauge("uvmbench_process_uptime_seconds",
@@ -137,6 +179,7 @@ func (s *Server) runnerFor(p profile.Profile) *core.Runner {
 	}
 	r := core.NewRunnerFor(p)
 	r.Parallelism = s.cfg.Parallelism
+	r.IterParallelism = s.cfg.IterParallelism
 	r.Store = s.cfg.Store
 	r.InstrumentMetrics(s.reg)
 	s.runners[fp] = r
@@ -217,19 +260,26 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-		s.expInflight.Add(1)
-		defer func() {
-			<-s.sem
-			s.expInflight.Add(-1)
-		}()
-	default:
+	// Admission weight is the request's executor width: intra-cell
+	// fan-out shares the same token pool, so itpar adds no workers.
+	width := s.cfg.Parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	granted, ok := s.slots.tryAcquire(width)
+	if !ok {
 		s.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "all admission slots busy; retry shortly")
+		httpError(w, http.StatusTooManyRequests, "worker-slot budget exhausted; retry shortly")
 		return
 	}
+	s.expInflight.Add(1)
+	s.slotsUsed.Add(float64(granted))
+	defer func() {
+		s.slots.release(granted)
+		s.expInflight.Add(-1)
+		s.slotsUsed.Add(-float64(granted))
+	}()
 
 	req, err := ParseSpec(http.MaxBytesReader(w, r.Body, 1<<20), s.def)
 	if err != nil {
@@ -238,12 +288,16 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	}
 
 	base := s.runnerFor(req.Profile)
-	// Value copy: per-request iterations and seed, shared executor,
-	// cell cache and context pool. The cell key includes iters, seed and
-	// the profile fingerprint, so mixed request shapes cannot collide.
+	// Value copy: per-request iterations, seed and iteration fan-out,
+	// shared executor, cell cache and context pool. The cell key
+	// includes iters, seed and the profile fingerprint, so mixed
+	// request shapes cannot collide.
 	rr := *base
 	rr.Iterations = req.Iters
 	rr.BaseSeed = req.Seed
+	if req.ItPar > 0 {
+		rr.IterParallelism = req.ItPar
+	}
 
 	var body strings.Builder
 	for _, fig := range req.Figures {

@@ -35,12 +35,16 @@ type Spec struct {
 	Iters    int      `json:"iters,omitempty"`    // iterations per configuration (default 30)
 	Seed     *int64   `json:"seed,omitempty"`     // base random seed (default 1)
 	Jobs     int      `json:"jobs,omitempty"`     // fig14 batch size (default 8)
+	// ItPar overrides the server's intra-cell iteration fan-out for this
+	// request (0 = the server's -itpar setting). Like -par it cannot
+	// change any response byte — it only trades latency for width.
+	ItPar int `json:"itpar,omitempty"`
 }
 
 // specFields lists the accepted JSON keys, for typo suggestions.
 var specFields = []string{
 	"figure", "figures", "profile", "profiles", "workload", "size",
-	"iters", "seed", "jobs",
+	"iters", "seed", "jobs", "itpar",
 }
 
 // ParseSpec decodes and validates a request body. Unknown fields and
@@ -70,6 +74,7 @@ type Request struct {
 	Profile profile.Profile
 	Iters   int
 	Seed    int64
+	ItPar   int // intra-cell fan-out override (0 = server setting)
 	Opt     FigureOptions
 }
 
@@ -121,6 +126,10 @@ func (s *Spec) resolve(defaultProfile profile.Profile) (*Request, error) {
 	if s.Jobs < 0 {
 		return nil, fmt.Errorf("jobs must be >= 0, got %d", s.Jobs)
 	}
+	if s.ItPar < 0 {
+		return nil, fmt.Errorf("itpar must be >= 0, got %d", s.ItPar)
+	}
+	req.ItPar = s.ItPar
 	if s.Jobs > 0 {
 		req.Opt.Jobs = s.Jobs
 	}

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# bench_suite.sh — run the figure-suite benchmark plus a timed 1-core
+# bench_suite.sh — run the figure-suite benchmark, the cold-latency
+# benchmarks at one core and at every core, plus a timed 1-core
 # `uvmbench all`, and emit/check a machine-readable baseline.
 #
 #   scripts/bench_suite.sh write [out.json]
@@ -8,10 +9,18 @@
 #
 #   scripts/bench_suite.sh check [baseline.json]
 #       Run the measurements, write BENCH_suite_current.json next to the
-#       baseline for artifact upload, and fail if BenchmarkFigureSuite's
-#       ns/op exceeds 3x its committed baseline, its allocs/op exceeds
-#       2x (the GC-free iteration path has started allocating again), or
-#       the 1-core `uvmbench all` wall time exceeds 2x.
+#       baseline for artifact upload, and fail if any benchmark's ns/op
+#       exceeds 3x its committed baseline, its allocs/op exceeds 2x (the
+#       GC-free iteration path has started allocating again), or the
+#       1-core `uvmbench all` wall time exceeds 2x.
+#
+# The cold-latency benchmarks (BenchmarkColdCellMegaUVM,
+# BenchmarkServeColdFig7) run twice: pinned to one core ("/1core") as
+# the serial reference, and with every core available ("/multicore"),
+# which is where the intra-cell iteration fan-out shows up — a lone cold
+# cell spreads its iterations across the executor pool instead of
+# leaving width-1 workers idle. On a single-core machine the two rows
+# are expected to match.
 #
 # BENCHTIME overrides the per-benchmark iteration count (default 1x;
 # simulation benchmarks are deterministic, so one iteration measures the
@@ -24,6 +33,27 @@ benchtime="${BENCHTIME:-1x}"
 
 cd "$(dirname "$0")/.."
 
+# parse_bench reads `go test -bench` output on stdin and emits one JSON
+# array element per benchmark, name-suffixed by $1 to keep the 1-core
+# and multi-core rows distinct in the baseline.
+parse_bench() {
+    awk -v suffix="$1" '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+            ns = ""; allocs = ""
+            for (i = 2; i <= NF; i++) {
+                if ($i == "ns/op") ns = $(i-1)
+                if ($i == "allocs/op") allocs = $(i-1)
+            }
+            if (ns == "") next
+            if (out != "") out = out ","
+            out = out sprintf("\n    {\"name\": \"%s%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, suffix, ns, allocs == "" ? 0 : allocs)
+        }
+        END { printf "%s", out }
+    '
+}
+
 run_bench() {
     bin="$(mktemp -d)/uvmbench"
     go build -o "$bin" ./cmd/uvmbench
@@ -33,26 +63,18 @@ run_bench() {
     wall=$(awk "BEGIN { printf \"%.3f\", $end - $start }")
     rm -f "$bin"
 
-    go test -run '^$' -bench 'BenchmarkFigureSuite$' \
-        -benchtime "$benchtime" -benchmem . |
-        awk -v wall="$wall" '
-            /^Benchmark/ {
-                name = $1
-                sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
-                ns = ""; allocs = ""
-                for (i = 2; i <= NF; i++) {
-                    if ($i == "ns/op") ns = $(i-1)
-                    if ($i == "allocs/op") allocs = $(i-1)
-                }
-                if (ns == "") next
-                if (out != "") out = out ","
-                out = out sprintf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? 0 : allocs)
-            }
-            END {
-                printf "{\n  \"benchmarks\": [%s\n  ],\n", out
-                printf "  \"uvmbench_all_1core_wall_seconds\": %s\n}\n", wall
-            }
-        '
+    rows_suite=$(go test -run '^$' -bench 'BenchmarkFigureSuite$' \
+        -benchtime "$benchtime" -benchmem . | parse_bench "")
+    rows_1core=$(GOMAXPROCS=1 go test -run '^$' \
+        -bench 'BenchmarkColdCellMegaUVM$|BenchmarkServeColdFig7$' \
+        -benchtime "$benchtime" -benchmem . | parse_bench "/1core")
+    rows_multi=$(go test -run '^$' \
+        -bench 'BenchmarkColdCellMegaUVM$|BenchmarkServeColdFig7$' \
+        -benchtime "$benchtime" -benchmem . | parse_bench "/multicore")
+
+    printf '{\n  "benchmarks": [%s,%s,%s\n  ],\n' \
+        "$rows_suite" "$rows_1core" "$rows_multi"
+    printf '  "uvmbench_all_1core_wall_seconds": %s\n}\n' "$wall"
 }
 
 case "$mode" in
