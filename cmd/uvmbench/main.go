@@ -6,8 +6,8 @@
 //	uvmbench fig4              micro exec-time distributions across sizes
 //	uvmbench fig5              std/mean across sizes
 //	uvmbench fig6              per-run breakdowns at Mega (memcpy noise)
-//	uvmbench fig7              micro five-setup comparison (Large+Super)
-//	uvmbench fig8              application five-setup comparison (Super)
+//	uvmbench fig7              micro multi-setup comparison (Large+Super)
+//	uvmbench fig8              application multi-setup comparison (Super)
 //	uvmbench fig9              instruction-mix counters (gemm/lud/yolov3)
 //	uvmbench fig10             L1 miss-rate counters (gemm/lud/yolov3)
 //	uvmbench fig11             block-count sensitivity sweep
@@ -33,9 +33,13 @@
 // document instead of the text table), -profile (hardware profile: a
 // built-in name or a profile
 // JSON file; every experiment runs on that machine), -profiles (the
-// comma-separated machines compare-profiles sweeps), -workload and
-// -setup (select the traced/compared run; an empty -setup traces all
-// five), -out (directory for trace files), -cpuprofile and -memprofile
+// comma-separated machines compare-profiles sweeps), -setups (a
+// comma-separated subset of registered setup names — e.g.
+// standard,uvm,uvm_zerocopy — that every study iterates instead of the
+// paper's default five; unknown names fail upfront with a nearest-name
+// hint), -workload and -setup (select the traced/compared run; an empty
+// -setup traces every study setup), -out (directory for trace files),
+// -cpuprofile and -memprofile
 // (write pprof profiles covering the whole invocation), -cache-dir (the
 // persistent cell store: hits skip simulation, misses are written back,
 // so a warm rerun of any sweep costs file reads, not simulation), and
@@ -98,6 +102,7 @@ type options struct {
 	json      bool
 	workload  string
 	setupName string
+	setups    []cuda.Setup // resolved -setups study list (nil = paper five)
 	outDir    string
 	profiles  string            // -profiles list for compare-profiles
 	fixed     []profile.Profile // pre-resolved compare-profiles set (merge replay)
@@ -177,7 +182,8 @@ func run(args []string) error {
 	itpar := fs.Int("itpar", 0, "intra-cell iteration workers (0 = executor width, 1 = serial iterations); output is identical at any value")
 	jsonOut := fs.Bool("json", false, "emit figure data as a JSON document instead of a text table")
 	workload := fs.String("workload", "gemm", "workload for the trace and compare-profiles subcommands")
-	setupName := fs.String("setup", "", "setup for the trace subcommand (empty = all five)")
+	setupName := fs.String("setup", "", "setup for the trace subcommand (empty = every study setup)")
+	setupsCSV := fs.String("setups", "", "comma-separated registered setups every study iterates (empty = the paper's five)")
 	outDir := fs.String("out", ".", "directory for trace output files")
 	prof := fs.String("profile", profile.DefaultName, "hardware profile: a built-in name (see 'uvmbench profiles') or a profile JSON file")
 	profs := fs.String("profiles", "", "comma-separated profiles for compare-profiles (empty = all built-ins)")
@@ -229,6 +235,14 @@ func run(args []string) error {
 			return fmt.Errorf("unknown subcommand %q%s", cmd, nearest.Hint(cmd, commandNames, 2))
 		}
 	}
+	var studySetups []cuda.Setup
+	if *setupsCSV != "" {
+		var err error
+		studySetups, err = cuda.ParseSetupList(*setupsCSV)
+		if err != nil {
+			return fmt.Errorf("-setups: %w", err)
+		}
+	}
 	if containsCmd(cmds, "merge") {
 		if len(cmds) != 1 {
 			return fmt.Errorf("merge cannot be combined with other subcommands")
@@ -275,6 +289,7 @@ func run(args []string) error {
 	r.BaseSeed = *seed
 	r.Parallelism = *par
 	r.IterParallelism = *itpar
+	r.Setups = studySetups
 	// Every invocation carries a metrics registry: batch runs expose the
 	// same counter/histogram numbers in the cache-summary doc that a
 	// serve process exports over /metrics.
@@ -296,6 +311,7 @@ func run(args []string) error {
 		json:      *jsonOut,
 		workload:  *workload,
 		setupName: *setupName,
+		setups:    studySetups,
 		outDir:    *outDir,
 		profiles:  *profs,
 		rest:      fs.Args()[1:],
@@ -320,6 +336,7 @@ func run(args []string) error {
 			Size:     *sizeName,
 			Jobs:     *jobs,
 			Workload: *workload,
+			Setups:   setupNames(studySetups),
 			Profile:  p,
 		}
 		if containsCmd(cmds, "compare-profiles") {
@@ -500,6 +517,12 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		for _, w := range workloads.Apps() {
 			fmt.Fprintf(o.out, "  %-12s %s\n", w.Name(), w.Domain())
 		}
+		if extras := workloads.Extras(); len(extras) > 0 {
+			fmt.Fprintln(o.out, "extras (outside the Table 2 grids, use -workload):")
+			for _, w := range extras {
+				fmt.Fprintf(o.out, "  %-12s %s\n", w.Name(), w.Domain())
+			}
+		}
 		return nil
 
 	case "profiles":
@@ -589,7 +612,10 @@ func runTrace(r *core.Runner, o *options) error {
 	if err != nil {
 		return err
 	}
-	setups := cuda.AllSetups
+	setups := o.setups
+	if len(setups) == 0 {
+		setups = cuda.PaperSetups()
+	}
 	if o.setupName != "" {
 		setup, err := cuda.ParseSetup(o.setupName)
 		if err != nil {

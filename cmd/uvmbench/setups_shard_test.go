@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSetupsShardMerge: a -setups subset that includes the extension
+// modes survives the shard→merge round trip byte for byte. The subset
+// is embedded in the artifact by name, so the merge replays the same
+// study list without any ordinal assumptions.
+func TestSetupsShardMerge(t *testing.T) {
+	const subset = "standard,uvm,uvm_zerocopy,uvm_smcopy"
+	want := capture(t, "-i", "1", "-size", "tiny", "-setups", subset, "fig7")
+	if !strings.Contains(want, "uvm_zerocopy") {
+		t.Fatalf("unsharded subset output lacks the new modes:\n%s", want)
+	}
+	dir := t.TempDir()
+	files := make([]string, 2)
+	for i := 1; i <= 2; i++ {
+		art := capture(t, "-i", "1", "-size", "tiny", "-setups", subset,
+			"-shard", fmt.Sprintf("%d/2", i), "fig7")
+		if !strings.Contains(art, `"uvm_zerocopy"`) {
+			t.Fatalf("shard artifact %d does not carry the subset by name:\n%.500s", i, art)
+		}
+		files[i-1] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := os.WriteFile(files[i-1], []byte(art), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := capture(t, append([]string{"merge"}, files...)...); got != want {
+		t.Errorf("merged subset output diverges\nmerged:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSetupsStoreWarmHit: the persistent cell store keys cells by setup
+// name, so a warm re-run over a subset with the extension modes is
+// byte-identical and served from the store.
+func TestSetupsStoreWarmHit(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-i", "1", "-size", "tiny", "-cache-dir", dir,
+		"-setups", "uvm,uvm_zerocopy,uvm_smcopy", "fig7"}
+	cold := capture(t, args...)
+	warm := capture(t, args...)
+	stripFooter := func(s string) string {
+		// The cache-summary footer legitimately differs cold vs warm.
+		if i := strings.Index(s, "cache:"); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if stripFooter(cold) != stripFooter(warm) {
+		t.Errorf("warm store run diverges from cold run\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range entries {
+		if e.IsDir() {
+			sub, _ := os.ReadDir(filepath.Join(dir, e.Name()))
+			if len(sub) > 0 {
+				found = true
+			}
+		} else {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store directory is empty after a subset run")
+	}
+}

@@ -31,14 +31,31 @@ import (
 // runner settings, and the fully resolved hardware profile(s) — a merge
 // machine does not need the producer's profile files.
 type shardSpec struct {
-	Commands []string          `json:"commands"`
-	Iters    int               `json:"iters"`
-	Seed     int64             `json:"seed"`
-	Size     string            `json:"size,omitempty"`
-	Jobs     int               `json:"jobs"`
-	Workload string            `json:"workload"`
+	Commands []string `json:"commands"`
+	Iters    int      `json:"iters"`
+	Seed     int64    `json:"seed"`
+	Size     string   `json:"size,omitempty"`
+	Jobs     int      `json:"jobs"`
+	Workload string   `json:"workload"`
+	// Setups is the -setups study list by registered name; empty means
+	// the paper's five (omitted from JSON, so artifacts from builds
+	// without the flag still merge).
+	Setups   []string          `json:"setups,omitempty"`
 	Profile  profile.Profile   `json:"profile"`
 	Profiles []profile.Profile `json:"profiles,omitempty"`
+}
+
+// setupNames maps a resolved study list back to its registered names
+// for embedding in a shard spec (nil stays nil).
+func setupNames(setups []cuda.Setup) []string {
+	if len(setups) == 0 {
+		return nil
+	}
+	names := make([]string, len(setups))
+	for i, s := range setups {
+		names[i] = s.String()
+	}
+	return names
 }
 
 // shardArtifact is the printed product of a -shard run. Besides the
@@ -68,12 +85,22 @@ func estimateArtifactSeconds(spec shardSpec, docs []store.CellDoc) float64 {
 		cfgByFP[p.Fingerprint()] = p.Config
 	}
 	var total float64
+	warned := make(map[string]bool)
 	for _, doc := range docs {
 		cfg, ok := cfgByFP[doc.Key.ProfileFP]
 		if !ok {
 			cfg = spec.Profile.Config
 		}
-		total += core.EstimateCellSeconds(cfg, doc)
+		// An unknown setup/size name still yields a usable generic
+		// estimate; flag each distinct identity once on stderr instead of
+		// silently mispricing the shard (estimates steer scheduling, never
+		// results).
+		secs, err := core.EstimateCellSeconds(cfg, doc)
+		if err != nil && !warned[err.Error()] {
+			warned[err.Error()] = true
+			fmt.Fprintf(os.Stderr, "uvmbench: shard estimate: %v (using generic estimate)\n", err)
+		}
+		total += secs
 	}
 	return total
 }
@@ -222,6 +249,13 @@ func runMerge(files []string, par, itpar int, jsonOut bool, cacheDir string) err
 	r.Parallelism = par
 	r.IterParallelism = itpar
 	r.Store = mem
+	if len(spec.Setups) > 0 {
+		setups, err := cuda.ParseSetupList(strings.Join(spec.Setups, ","))
+		if err != nil {
+			return fmt.Errorf("%s: embedded setups: %w", files[0], err)
+		}
+		r.Setups = setups
+	}
 	if cacheDir != "" {
 		// Also persist the merged cells, so the union of shard runs
 		// leaves behind the same warm store a single-shot -cache-dir run

@@ -1,5 +1,6 @@
 // Advisor: automates the paper's design guideline (§7). Given a
-// workload, it profiles all five data-transfer setups with a few quick
+// workload, it profiles every registered data-transfer setup — the
+// paper's five plus uvm_zerocopy and uvm_smcopy — with a few quick
 // runs, reports the breakdowns, and recommends a configuration using the
 // paper's decision rules:
 //
@@ -45,6 +46,7 @@ func main() {
 
 	r := core.NewRunnerFor(p)
 	r.Iterations = 5
+	r.Setups = cuda.Registered()
 	study, err := r.BreakdownComparison([]workloads.Workload{w}, size)
 	if err != nil {
 		log.Fatal(err)
@@ -54,7 +56,7 @@ func main() {
 	fmt.Printf("profile of %s (%s input):\n", w.Name(), size)
 	fmt.Printf("%-20s %10s %10s %10s %10s\n", "setup", "kernel ms", "memcpy ms", "alloc ms", "roi ms")
 	best, bestROI := cuda.Standard, 0.0
-	for i, setup := range cuda.AllSetups {
+	for i, setup := range study.Setups {
 		b := row.BySetup[i]
 		roi := b.Total - b.Overhead
 		fmt.Printf("%-20s %10.2f %10.2f %10.2f %10.2f\n",
@@ -64,7 +66,7 @@ func main() {
 		}
 	}
 
-	std := row.BySetup[0]
+	std := row.BySetup[study.Baseline]
 	roiStd := std.Total - std.Overhead
 	transferBound := std.Memcpy > std.Kernel
 	fmt.Println()
@@ -74,6 +76,12 @@ func main() {
 		best, 100*(1-bestROI/roiStd))
 
 	switch {
+	case best.ZeroCopy():
+		fmt.Println("rationale: sparse or single-pass access — migrating whole pages")
+		fmt.Println("wastes bandwidth, so reading host memory in place over the link wins.")
+	case best.SMCopy():
+		fmt.Println("rationale: SM-driven staging hides the copy inside the kernel and")
+		fmt.Println("skips the fault replays, beating both the copy engine and demand paging.")
 	case best.AsyncCopy() && !best.Managed():
 		fmt.Println("rationale: the kernel is staging-bound with an access pattern the")
 		fmt.Println("UVM prefetcher cannot track — Async Memcpy alone wins (Takeaway 2).")

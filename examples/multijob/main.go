@@ -36,7 +36,7 @@ func main() {
 	fmt.Printf("inter-job pipeline model: %d x %s (Super input) on %s\n\n", *jobs, *name, p.Name)
 	fmt.Printf("%-20s %12s %12s %12s %12s\n",
 		"setup", "serial ms", "pipelined ms", "improvement", "alloc share")
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range cuda.PaperSetups() {
 		res, err := r.MultiJob(*name, setup, workloads.Super, *jobs)
 		if err != nil {
 			log.Fatal(err)

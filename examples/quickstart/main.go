@@ -31,7 +31,7 @@ func main() {
 	fmt.Printf("saxpy over %d elements on the simulated %s system\n", int64(n), p.Name)
 	fmt.Printf("%-20s %10s %10s %10s %12s\n", "setup", "alloc ms", "memcpy ms", "kernel ms", "total ms")
 
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range cuda.PaperSetups() {
 		b, err := runSaxpy(p.Config, setup, n)
 		if err != nil {
 			log.Fatal(err)

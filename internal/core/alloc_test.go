@@ -44,7 +44,7 @@ func TestMeasureCellSteadyStateAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range cuda.Registered() {
 		setup := setup
 		t.Run(setup.String(), func(t *testing.T) {
 			r := allocTestRunner()
@@ -77,7 +77,7 @@ func TestMeasureCellWarmupAllocCeiling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range cuda.Registered() {
 		setup := setup
 		t.Run(setup.String(), func(t *testing.T) {
 			r := allocTestRunner()

@@ -218,7 +218,7 @@ func TestSweepBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for pi := range sw.Points {
-		for si := range cuda.AllSetups {
+		for si := range sw.Setups {
 			v := sw.Normalized(pi, si)
 			if v <= 0 {
 				t.Fatalf("degenerate sweep value at point %d setup %d", pi, si)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,9 +80,19 @@ func staticCellSeconds(cfg cuda.SystemConfig, kind string, setup cuda.Setup, siz
 	}
 	footprint := float64(size.Footprint())
 	var perIter float64
-	if setup.Managed() {
+	switch {
+	case setup.ZeroCopy():
+		// Zero-copy never faults or migrates: the simulation prices each
+		// access over the link in one kernel event, so like the explicit
+		// path it is nearly flat in the footprint.
+		perIter = costIterBase + footprint/float64(1<<30)*costPerCopiedGiB
+	case setup.SMCopy():
+		// SM staging walks chunks like the fault path but without the
+		// per-fault replay machinery, so per-chunk work is much cheaper.
+		perIter = costIterBase + footprint/float64(chunkBytes)*costPerChunk*0.3
+	case setup.Managed():
 		perIter = costIterBase + footprint/float64(chunkBytes)*costPerChunk
-	} else {
+	default:
 		perIter = costIterBase + footprint/float64(1<<30)*costPerCopiedGiB
 	}
 	return float64(iters) * perIter
@@ -107,22 +119,35 @@ func parseOversubKind(kind string) (ratio float64, passes int, ok bool) {
 	return ratio, passes, true
 }
 
+// ErrUnknownCell reports a captured cell document whose setup or size
+// name is not resolvable in this process — typically an artifact written
+// by a build with extra registered setups, or a future schema.
+var ErrUnknownCell = errors.New("core: unknown cell identity")
+
 // EstimateCellSeconds is the static cost-model estimate for one
 // captured cell document, used by shard producers to embed a
-// deterministic per-shard cost estimate in the artifact. Unparseable
-// setup or size names (a future schema) degrade to a generic estimate
-// rather than failing — estimates steer scheduling and reporting, never
-// results.
-func EstimateCellSeconds(cfg cuda.SystemConfig, doc store.CellDoc) float64 {
+// deterministic per-shard cost estimate in the artifact. A setup or
+// size name that does not resolve in this process's registry returns a
+// generic standard/Large estimate alongside an error wrapping
+// ErrUnknownCell: the estimate stays usable — estimates steer
+// scheduling and reporting, never results — but the caller decides
+// whether an unknown identity is worth surfacing instead of the old
+// silent fallback.
+func EstimateCellSeconds(cfg cuda.SystemConfig, doc store.CellDoc) (float64, error) {
+	var unknown error
 	setup, err := cuda.ParseSetup(doc.Key.Setup)
 	if err != nil {
 		setup = cuda.Standard
+		unknown = fmt.Errorf("%w: setup %q", ErrUnknownCell, doc.Key.Setup)
 	}
 	size, err := workloads.ParseSize(doc.Key.Size)
 	if err != nil {
 		size = workloads.Large
+		if unknown == nil {
+			unknown = fmt.Errorf("%w: size %q", ErrUnknownCell, doc.Key.Size)
+		}
 	}
-	return staticCellSeconds(cfg, doc.Key.Kind, setup, size, doc.Key.Iters)
+	return staticCellSeconds(cfg, doc.Key.Kind, setup, size, doc.Key.Iters), unknown
 }
 
 // costKey identifies one cell shape in the observed-cost map. Iteration

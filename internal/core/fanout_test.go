@@ -26,7 +26,7 @@ func TestFanoutCountersMatchSerial(t *testing.T) {
 	}
 	serial := testRunner(6)
 	serial.Parallelism = 1
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range cuda.Registered() {
 		setup := setup
 		t.Run(setup.String(), func(t *testing.T) {
 			want, err := serial.measureCell(w, setup, workloads.Large)

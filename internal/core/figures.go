@@ -24,21 +24,23 @@ type DistCell struct {
 type DistributionStudy struct {
 	Sizes     []workloads.Size
 	Workloads []string
+	Setups    []cuda.Setup // the study's setup list, in presentation order
 	Cells     []DistCell
 }
 
-// Distributions measures every (workload, setup, size) combination. The
-// cells fan out across the executor; the study keeps them in the fixed
-// workload-major, size, setup order.
+// Distributions measures every (workload, setup, size) combination of
+// the runner's setup list. The cells fan out across the executor; the
+// study keeps them in the fixed workload-major, size, setup order.
 func (r *Runner) Distributions(ws []workloads.Workload, sizes []workloads.Size) (*DistributionStudy, error) {
-	study := &DistributionStudy{Sizes: sizes}
+	setups := r.setups()
+	study := &DistributionStudy{Sizes: sizes, Setups: setups}
 	for _, w := range ws {
 		study.Workloads = append(study.Workloads, w.Name())
 	}
-	nSetups := len(cuda.AllSetups)
+	nSetups := len(setups)
 	cells := make([]DistCell, len(ws)*len(sizes)*nSetups)
 	at := func(i int) (workloads.Workload, workloads.Size, cuda.Setup) {
-		return ws[i/(len(sizes)*nSetups)], sizes[(i/nSetups)%len(sizes)], cuda.AllSetups[i%nSetups]
+		return ws[i/(len(sizes)*nSetups)], sizes[(i/nSetups)%len(sizes)], setups[i%nSetups]
 	}
 	order := r.lptOrder(len(cells), func(i int) float64 {
 		w, size, setup := at(i)
@@ -68,7 +70,7 @@ func (r *Runner) Distributions(ws []workloads.Workload, sizes []workloads.Size) 
 }
 
 // CV returns the mean coefficient of variation for a workload at a size,
-// averaged across the five setups (Figure 5 plots this).
+// averaged across the study's setups (Figure 5 plots this).
 func (d *DistributionStudy) CV(workload string, size workloads.Size) float64 {
 	var cvs []float64
 	for _, c := range d.Cells {
@@ -128,18 +130,21 @@ func (f *Fig6) KernelCV() float64 {
 	return stats.CoefVar(vals)
 }
 
-// --- Figures 7 & 8: five-setup breakdown comparison ----------------------
+// --- Figures 7 & 8: multi-setup breakdown comparison ----------------------
 
-// BreakdownRow is one workload's mean breakdown under each setup
-// (cuda.AllSetups order).
+// BreakdownRow is one workload's mean breakdown under each setup of the
+// study's list (BreakdownStudy.Setups order). Baseline is the list
+// position improvement math normalizes against.
 type BreakdownRow struct {
 	Workload string
 	BySetup  []cuda.Breakdown
+	Baseline int
 }
 
-// Normalized returns component times normalized to the standard total.
+// Normalized returns component times normalized to the baseline setup's
+// total (the standard setup whenever the study includes it).
 func (row BreakdownRow) Normalized(setup int) (kernel, memcpy, alloc, total float64) {
-	base := row.BySetup[0].Total - row.BySetup[0].Overhead
+	base := row.BySetup[row.Baseline].Total - row.BySetup[row.Baseline].Overhead
 	if base <= 0 {
 		return 0, 0, 0, 0
 	}
@@ -149,21 +154,24 @@ func (row BreakdownRow) Normalized(setup int) (kernel, memcpy, alloc, total floa
 
 // BreakdownStudy is the Figure 7/8 grid at one input size.
 type BreakdownStudy struct {
-	Size workloads.Size
-	Rows []BreakdownRow
+	Size     workloads.Size
+	Setups   []cuda.Setup // the study's setup list, in presentation order
+	Baseline int          // position in Setups improvement math normalizes against
+	Rows     []BreakdownRow
 }
 
-// BreakdownComparison measures the mean five-setup breakdown of each
-// workload at the given size, fanning every (workload, setup) cell
-// across the executor.
+// BreakdownComparison measures the mean breakdown of each workload at
+// the given size under every setup in the runner's study list, fanning
+// every (workload, setup) cell across the executor.
 func (r *Runner) BreakdownComparison(ws []workloads.Workload, size workloads.Size) (*BreakdownStudy, error) {
-	nSetups := len(cuda.AllSetups)
+	setups := r.setups()
+	nSetups := len(setups)
 	grid := make([]cuda.Breakdown, len(ws)*nSetups)
 	order := r.lptOrder(len(grid), func(i int) float64 {
-		return r.cellCost(ws[i/nSetups].Name(), cuda.AllSetups[i%nSetups], size)
+		return r.cellCost(ws[i/nSetups].Name(), setups[i%nSetups], size)
 	})
 	err := r.forEachOrdered(len(grid), order, func(i int) error {
-		res, err := r.Measure(ws[i/nSetups], cuda.AllSetups[i%nSetups], size)
+		res, err := r.Measure(ws[i/nSetups], setups[i%nSetups], size)
 		if err != nil {
 			return err
 		}
@@ -173,26 +181,48 @@ func (r *Runner) BreakdownComparison(ws []workloads.Workload, size workloads.Siz
 	if err != nil {
 		return nil, err
 	}
-	study := &BreakdownStudy{Size: size, Rows: make([]BreakdownRow, len(ws))}
+	base := cuda.BaselineIndex(setups)
+	study := &BreakdownStudy{
+		Size:     size,
+		Setups:   setups,
+		Baseline: base,
+		Rows:     make([]BreakdownRow, len(ws)),
+	}
 	for wi, w := range ws {
 		study.Rows[wi] = BreakdownRow{
 			Workload: w.Name(),
 			BySetup:  grid[wi*nSetups : (wi+1)*nSetups],
+			Baseline: base,
 		}
 	}
 	return study, nil
 }
 
+// setupIndex returns the study-list position of a setup, or -1.
+func setupIndex(setups []cuda.Setup, setup cuda.Setup) int {
+	for i, s := range setups {
+		if s == setup {
+			return i
+		}
+	}
+	return -1
+}
+
 // GeoMeanImprovement returns the geometric-mean relative total-time
-// improvement of the given setup over standard across the study's
-// workloads (positive = faster), the §4.1 headline statistic. The fixed
-// process overhead is excluded, as the paper's region-of-interest
-// measurement does.
+// improvement of the given setup over the study's baseline across the
+// study's workloads (positive = faster), the §4.1 headline statistic.
+// The fixed process overhead is excluded, as the paper's
+// region-of-interest measurement does. A setup outside the study's
+// list reports zero.
 func (s *BreakdownStudy) GeoMeanImprovement(setup cuda.Setup) float64 {
+	si := setupIndex(s.Setups, setup)
+	if si < 0 {
+		return 0
+	}
 	var ratios []float64
 	for _, row := range s.Rows {
-		std := row.BySetup[0].Total - row.BySetup[0].Overhead
-		cur := row.BySetup[int(setup)].Total - row.BySetup[int(setup)].Overhead
+		std := row.BySetup[s.Baseline].Total - row.BySetup[s.Baseline].Overhead
+		cur := row.BySetup[si].Total - row.BySetup[si].Overhead
 		if std > 0 && cur > 0 {
 			ratios = append(ratios, cur/std)
 		}
@@ -201,12 +231,16 @@ func (s *BreakdownStudy) GeoMeanImprovement(setup cuda.Setup) float64 {
 }
 
 // ComponentSavings returns the mean relative reduction of one breakdown
-// component (e.g. memcpy) under a setup versus standard.
+// component (e.g. memcpy) under a setup versus the study's baseline.
 func (s *BreakdownStudy) ComponentSavings(setup cuda.Setup, component func(cuda.Breakdown) float64) float64 {
+	si := setupIndex(s.Setups, setup)
+	if si < 0 {
+		return 0
+	}
 	var ratios []float64
 	for _, row := range s.Rows {
-		std := component(row.BySetup[0])
-		cur := component(row.BySetup[int(setup)])
+		std := component(row.BySetup[s.Baseline])
+		cur := component(row.BySetup[si])
 		if std > 0 {
 			ratios = append(ratios, cur/std)
 		}
@@ -261,14 +295,15 @@ func (r *Runner) CounterComparison(names []string, size workloads.Size) (*Counte
 	// counter study (fig9 then fig10) is fully deduplicated.
 	single := *r
 	single.Iterations = 1
-	nSetups := len(cuda.AllSetups)
+	setups := r.setups()
+	nSetups := len(setups)
 	rows := make([]CounterRow, len(ws)*nSetups)
 	order := single.lptOrder(len(rows), func(i int) float64 {
-		return single.cellCost(names[i/nSetups], cuda.AllSetups[i%nSetups], size)
+		return single.cellCost(names[i/nSetups], setups[i%nSetups], size)
 	})
 	err := single.forEachOrdered(len(rows), order, func(i int) error {
 		name := names[i/nSetups]
-		setup := cuda.AllSetups[i%nSetups]
+		setup := setups[i%nSetups]
 		res, err := single.Measure(ws[i/nSetups], setup, size)
 		if err != nil {
 			return err
@@ -304,7 +339,7 @@ func (s *CounterStudy) Row(workload string, setup cuda.Setup) (CounterRow, error
 // --- Figures 11-13: sensitivity sweeps ------------------------------------
 
 // SweepPoint is one x-axis value of a sensitivity sweep with the mean
-// five-setup breakdowns.
+// breakdowns per study setup.
 type SweepPoint struct {
 	Param   float64
 	BySetup []cuda.Breakdown
@@ -315,6 +350,8 @@ type Sweep struct {
 	Name      string
 	ParamName string
 	Size      workloads.Size
+	Setups    []cuda.Setup // the study's setup list, in presentation order
+	Baseline  int          // position in Setups normalization uses
 	Points    []SweepPoint
 }
 
@@ -324,16 +361,17 @@ type Sweep struct {
 // the cell cache under a key that includes the swept parameter.
 func (r *Runner) sweep(name, paramName string, size workloads.Size, params []float64,
 	opt func(p float64) workloads.SensitivityOptions) (*Sweep, error) {
-	nSetups := len(cuda.AllSetups)
+	setups := r.setups()
+	nSetups := len(setups)
 	grid := make([]cuda.Breakdown, len(params)*nSetups)
 	order := r.lptOrder(len(grid), func(i int) float64 {
 		p := params[i/nSetups]
-		setup := cuda.AllSetups[i%nSetups]
+		setup := setups[i%nSetups]
 		return r.cellCost(fmt.Sprintf("sweep:%s:%g", name, p), setup, size)
 	})
 	err := r.forEachOrdered(len(grid), order, func(i int) error {
 		p := params[i/nSetups]
-		setup := cuda.AllSetups[i%nSetups]
+		setup := setups[i%nSetups]
 		kind := fmt.Sprintf("sweep:%s:%g", name, p)
 		res, err := r.cached(kind, setup, size, func() (Result, error) {
 			return r.sweepCell(name, setup, size, p, opt(p))
@@ -347,7 +385,14 @@ func (r *Runner) sweep(name, paramName string, size workloads.Size, params []flo
 	if err != nil {
 		return nil, err
 	}
-	sw := &Sweep{Name: name, ParamName: paramName, Size: size, Points: make([]SweepPoint, len(params))}
+	sw := &Sweep{
+		Name:      name,
+		ParamName: paramName,
+		Size:      size,
+		Setups:    setups,
+		Baseline:  cuda.BaselineIndex(setups),
+		Points:    make([]SweepPoint, len(params)),
+	}
 	for pi, p := range params {
 		sw.Points[pi] = SweepPoint{Param: p, BySetup: grid[pi*nSetups : (pi+1)*nSetups]}
 	}
@@ -417,7 +462,7 @@ func (s *Sweep) Point(value float64) (SweepPoint, error) {
 }
 
 // Normalized returns a point's total for a setup normalized to the
-// standard setup at the sweep's first point, overhead excluded.
+// study's baseline setup at the sweep's first point, overhead excluded.
 func (s *Sweep) Normalized(pointIdx, setup int) float64 {
 	return s.NormalizedPoint(s.Points[pointIdx], setup)
 }
@@ -425,7 +470,7 @@ func (s *Sweep) Normalized(pointIdx, setup int) float64 {
 // NormalizedPoint is Normalized for a point obtained via Point (or by
 // ranging over Points) rather than a positional index.
 func (s *Sweep) NormalizedPoint(p SweepPoint, setup int) float64 {
-	base := s.Points[0].BySetup[0].Total - s.Points[0].BySetup[0].Overhead
+	base := s.Points[0].BySetup[s.Baseline].Total - s.Points[0].BySetup[s.Baseline].Overhead
 	if base <= 0 {
 		return 0
 	}

@@ -168,7 +168,8 @@ type breakdownStudyData struct {
 	Size   workloads.Size     `json:"size"`
 	Setups []cuda.Setup       `json:"setups"`
 	Rows   []breakdownRowJSON `json:"rows"`
-	// Per-setup aggregates versus standard, in Setups[1:] order.
+	// Per-setup aggregates versus the study baseline, in Setups order
+	// with the baseline position omitted.
 	Improvements []improvementJSON `json:"vs_standard"`
 }
 
@@ -200,8 +201,11 @@ func (s *BreakdownStudy) data() breakdownStudyData {
 			NormalizedTotal: norm,
 		}
 	}
-	imps := make([]improvementJSON, 0, len(cuda.AllSetups)-1)
-	for _, setup := range cuda.AllSetups[1:] {
+	imps := make([]improvementJSON, 0, len(s.Setups))
+	for i, setup := range s.Setups {
+		if i == s.Baseline {
+			continue
+		}
 		imps = append(imps, improvementJSON{
 			Setup:              setup,
 			GeoMeanImprovement: s.GeoMeanImprovement(setup),
@@ -211,7 +215,7 @@ func (s *BreakdownStudy) data() breakdownStudyData {
 	}
 	return breakdownStudyData{
 		Size:         s.Size,
-		Setups:       cuda.AllSetups,
+		Setups:       s.Setups,
 		Rows:         rows,
 		Improvements: imps,
 	}
@@ -289,7 +293,7 @@ func (s *Sweep) Doc(figure string) FigureDoc {
 		Size      workloads.Size `json:"size"`
 		Setups    []cuda.Setup   `json:"setups"`
 		Points    []point        `json:"points"`
-	}{s.Name, s.ParamName, s.Size, cuda.AllSetups, points}}
+	}{s.Name, s.ParamName, s.Size, s.Setups, points}}
 }
 
 // Doc packages the Figure 14 pipeline-model estimate.

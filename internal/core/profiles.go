@@ -15,25 +15,27 @@ import (
 // parallel executor; the per-profile cache keys (fingerprints) keep the
 // cells from colliding in the cell cache.
 
-// ProfileRow is one profile's mean five-setup breakdown.
+// ProfileRow is one profile's mean breakdown per study setup.
 type ProfileRow struct {
 	Profile     string
 	Fingerprint string
-	BySetup     []cuda.Breakdown // cuda.AllSetups order
+	Setups      []cuda.Setup     // the study's setup list, in presentation order
+	Baseline    int              // position in Setups normalization uses
+	BySetup     []cuda.Breakdown // Setups order
 }
 
 // Best returns the winning setup — the lowest region-of-interest time
 // (total minus fixed process overhead) — and its improvement over the
-// standard setup (positive = faster than standard).
+// baseline setup (positive = faster than the baseline).
 func (row ProfileRow) Best() (cuda.Setup, float64) {
 	best, bestROI := cuda.Standard, 0.0
 	for i, b := range row.BySetup {
 		roi := b.Total - b.Overhead
 		if i == 0 || roi < bestROI {
-			best, bestROI = cuda.AllSetups[i], roi
+			best, bestROI = row.Setups[i], roi
 		}
 	}
-	std := row.BySetup[0].Total - row.BySetup[0].Overhead
+	std := row.BySetup[row.Baseline].Total - row.BySetup[row.Baseline].Overhead
 	if std <= 0 {
 		return best, 0
 	}
@@ -41,10 +43,10 @@ func (row ProfileRow) Best() (cuda.Setup, float64) {
 }
 
 // Normalized returns the setup's ROI time normalized to this profile's
-// own standard setup (each machine is its own baseline, as when papers
+// own baseline setup (each machine is its own baseline, as when papers
 // compare transfer modes within a testbed).
 func (row ProfileRow) Normalized(setup int) float64 {
-	std := row.BySetup[0].Total - row.BySetup[0].Overhead
+	std := row.BySetup[row.Baseline].Total - row.BySetup[row.Baseline].Overhead
 	if std <= 0 {
 		return 0
 	}
@@ -56,14 +58,16 @@ func (row ProfileRow) Normalized(setup int) float64 {
 type ProfileStudy struct {
 	Workload string
 	Size     workloads.Size
+	Setups   []cuda.Setup // the study's setup list, in presentation order
+	Baseline int          // position in Setups normalization uses
 	Rows     []ProfileRow // one per requested profile, in request order
 }
 
-// CompareProfiles measures one workload at one size under all five
-// setups on each of the given hardware profiles. Cells fan out across
-// the executor and land in (profile, setup) order, so the merged study
-// is deterministic at any Parallelism; the runner's own Config is left
-// untouched.
+// CompareProfiles measures one workload at one size under every setup in
+// the runner's study list on each of the given hardware profiles. Cells
+// fan out across the executor and land in (profile, setup) order, so the
+// merged study is deterministic at any Parallelism; the runner's own
+// Config is left untouched.
 func (r *Runner) CompareProfiles(ps []profile.Profile, name string, size workloads.Size) (*ProfileStudy, error) {
 	if len(ps) == 0 {
 		return nil, fmt.Errorf("core: no profiles to compare")
@@ -77,18 +81,20 @@ func (r *Runner) CompareProfiles(ps []profile.Profile, name string, size workloa
 			return nil, fmt.Errorf("core: profile %q: %w", p.Name, err)
 		}
 	}
-	nSetups := len(cuda.AllSetups)
+	setups := r.setups()
+	nSetups := len(setups)
+	base := cuda.BaselineIndex(setups)
 	grid := make([]cuda.Breakdown, len(ps)*nSetups)
 	order := r.lptOrder(len(grid), func(i int) float64 {
 		// Static cost only: the cells run under each profile's own
 		// config, not the runner's, so observed costs keyed to r.Config
 		// would mislead here.
 		p := ps[i/nSetups]
-		return staticCellSeconds(p.Config, name, cuda.AllSetups[i%nSetups], size, r.iters())
+		return staticCellSeconds(p.Config, name, setups[i%nSetups], size, r.iters())
 	})
 	err = r.forEachOrdered(len(grid), order, func(i int) error {
 		p := ps[i/nSetups]
-		setup := cuda.AllSetups[i%nSetups]
+		setup := setups[i%nSetups]
 		// The copy shares the executor and cell cache with r; its
 		// fingerprinted cache keys keep this profile's cells separate.
 		sub := *r
@@ -103,11 +109,19 @@ func (r *Runner) CompareProfiles(ps []profile.Profile, name string, size workloa
 	if err != nil {
 		return nil, err
 	}
-	study := &ProfileStudy{Workload: name, Size: size, Rows: make([]ProfileRow, len(ps))}
+	study := &ProfileStudy{
+		Workload: name,
+		Size:     size,
+		Setups:   setups,
+		Baseline: base,
+		Rows:     make([]ProfileRow, len(ps)),
+	}
 	for pi, p := range ps {
 		study.Rows[pi] = ProfileRow{
 			Profile:     p.Name,
 			Fingerprint: p.Fingerprint(),
+			Setups:      setups,
+			Baseline:    base,
 			BySetup:     grid[pi*nSetups : (pi+1)*nSetups],
 		}
 	}
@@ -115,11 +129,11 @@ func (r *Runner) CompareProfiles(ps []profile.Profile, name string, size workloa
 }
 
 // Render prints the cross-profile comparison: per-profile ROI times by
-// setup, each profile's winning setup, and its gain over standard.
+// setup, each profile's winning setup, and its gain over the baseline.
 func (s *ProfileStudy) Render() string {
 	out := fmt.Sprintf("Cross-profile comparison: %s (%s input), ROI ms by setup\n", s.Workload, s.Size)
 	out += fmt.Sprintf("%-18s", "profile")
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range s.Setups {
 		out += fmt.Sprintf(" %18s", setup)
 	}
 	out += fmt.Sprintf(" %20s\n", "best")
@@ -166,5 +180,5 @@ func (s *ProfileStudy) Doc() FigureDoc {
 		Size     workloads.Size `json:"size"`
 		Setups   []cuda.Setup   `json:"setups"`
 		Rows     []row          `json:"rows"`
-	}{s.Workload, s.Size, cuda.AllSetups, rows}}
+	}{s.Workload, s.Size, s.Setups, rows}}
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"uvmasim/internal/cuda"
+	"uvmasim/internal/profile"
+	"uvmasim/internal/store"
+	"uvmasim/internal/workloads"
+)
+
+// syntheticSetup registers (once per process) a sixth managed setup the
+// paper never named, so the property tests below can prove the harness
+// is setup-count-agnostic rather than hard-wired to len==5.
+func syntheticSetup(t *testing.T) cuda.Setup {
+	t.Helper()
+	s, err := cuda.Register(cuda.Desc{Name: "synthetic_core_test", Managed: true, SMCopy: true})
+	if err != nil {
+		if !strings.Contains(err.Error(), "already registered") {
+			t.Fatal(err)
+		}
+		s, err = cuda.ParseSetup("synthetic_core_test")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestStudiesHandleSixSetups runs a breakdown study, its renderer, its
+// JSON document and the cross-profile comparison with a six-setup study
+// list (the paper's five plus a synthetic registration) and checks every
+// consumer follows the study's own list: N columns, standard still the
+// baseline, no panics anywhere.
+func TestStudiesHandleSixSetups(t *testing.T) {
+	syn := syntheticSetup(t)
+	r := testRunner(2)
+	r.Setups = append(cuda.PaperSetups(), syn)
+
+	study, err := r.BreakdownComparison(mustWorkloads(t, "vector_seq"), workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Setups) != 6 || study.Baseline != 0 {
+		t.Fatalf("study setups = %v baseline = %d", study.Setups, study.Baseline)
+	}
+	for _, row := range study.Rows {
+		if len(row.BySetup) != 6 {
+			t.Fatalf("row %s has %d breakdowns, want 6", row.Workload, len(row.BySetup))
+		}
+	}
+	text := study.Render("six-setup study")
+	if !strings.Contains(text, "synthetic_core_test") {
+		t.Errorf("render misses the sixth setup:\n%s", text)
+	}
+	if imp := study.GeoMeanImprovement(syn); imp == 0 {
+		t.Errorf("sixth setup improvement should be computed, got 0")
+	}
+
+	doc := study.Doc("fig7")
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "synthetic_core_test") {
+		t.Errorf("JSON doc misses the sixth setup")
+	}
+
+	ps, err := r.CompareProfiles([]profile.Profile{profile.Default()}, "vector_seq", workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Setups) != 6 || ps.Baseline != 0 {
+		t.Fatalf("profile study setups = %v baseline = %d", ps.Setups, ps.Baseline)
+	}
+	for _, row := range ps.Rows {
+		if len(row.BySetup) != 6 {
+			t.Fatalf("profile row has %d breakdowns, want 6", len(row.BySetup))
+		}
+		if _, imp := row.Best(); imp < 0 {
+			t.Errorf("best-vs-baseline improvement negative: %v", imp)
+		}
+	}
+	if !strings.Contains(ps.Render(), "synthetic_core_test") {
+		t.Errorf("profile render misses the sixth setup")
+	}
+}
+
+// TestSubsetBaselineFollowsRegistry: a study list without the standard
+// setup normalizes against its first setup; with standard anywhere in
+// the list, standard is the baseline.
+func TestSubsetBaselineFollowsRegistry(t *testing.T) {
+	r := testRunner(1)
+	r.Setups = []cuda.Setup{cuda.UVM, cuda.UVMZeroCopy}
+	study, err := r.BreakdownComparison(mustWorkloads(t, "saxpy"), workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Baseline != 0 || len(study.Setups) != 2 {
+		t.Fatalf("uvm-first subset baseline = %d setups = %v", study.Baseline, study.Setups)
+	}
+
+	r2 := testRunner(1)
+	r2.Setups = []cuda.Setup{cuda.UVM, cuda.Standard, cuda.UVMSMCopy}
+	study2, err := r2.BreakdownComparison(mustWorkloads(t, "saxpy"), workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study2.Baseline != 1 {
+		t.Fatalf("standard-at-1 subset baseline = %d", study2.Baseline)
+	}
+	// Improvement math normalizes against the baseline position, so the
+	// baseline's own normalized total is exactly 1.
+	_, _, _, total := study2.Rows[0].Normalized(1)
+	if total != 1 {
+		t.Errorf("baseline normalized total = %v, want 1", total)
+	}
+}
+
+// TestEstimateCellSecondsUnknownCell: an artifact whose setup or size
+// name does not resolve in this process yields a usable generic
+// estimate AND a typed error — never the old silent standard fallback.
+func TestEstimateCellSecondsUnknownCell(t *testing.T) {
+	cfg := cuda.DefaultSystemConfig()
+	doc := store.CellDoc{}
+	doc.Key.Kind = "vector_seq"
+	doc.Key.Setup = "warp_speed"
+	doc.Key.Size = "large"
+	doc.Key.Iters = 3
+	sec, err := EstimateCellSeconds(cfg, doc)
+	if !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("err = %v, want ErrUnknownCell", err)
+	}
+	if !strings.Contains(err.Error(), "warp_speed") {
+		t.Errorf("error should name the unknown setup: %v", err)
+	}
+	if sec <= 0 {
+		t.Errorf("estimate should stay usable, got %v", sec)
+	}
+
+	doc.Key.Setup = "uvm_zerocopy"
+	if _, err := EstimateCellSeconds(cfg, doc); err != nil {
+		t.Errorf("known identity should not error: %v", err)
+	}
+	doc.Key.Size = "giga"
+	if _, err := EstimateCellSeconds(cfg, doc); !errors.Is(err, ErrUnknownCell) {
+		t.Errorf("unknown size should error: %v", err)
+	}
+}

@@ -29,13 +29,13 @@ func (d *DistributionStudy) RenderFig4() string {
 	for _, size := range d.Sizes {
 		fmt.Fprintf(&b, "Figure 4 (%s): execution time, mean±ci95 ms over runs\n", size)
 		fmt.Fprintf(&b, "%-12s", "workload")
-		for _, s := range cuda.AllSetups {
+		for _, s := range d.Setups {
 			fmt.Fprintf(&b, " %22s", s)
 		}
 		fmt.Fprintln(&b)
 		for _, w := range d.Workloads {
 			fmt.Fprintf(&b, "%-12s", w)
-			for _, setup := range cuda.AllSetups {
+			for _, setup := range d.Setups {
 				for _, c := range d.Cells {
 					if c.Workload == w && c.Size == size && c.Setup == setup {
 						fmt.Fprintf(&b, " %12.1f ±%7.1f", c.Summary.Mean/1e6, c.Summary.CI95/1e6)
@@ -91,7 +91,7 @@ func (s *BreakdownStudy) Render(title string) string {
 	fmt.Fprintf(&b, "%s (%s input): components normalized to standard total (overhead excluded)\n", title, s.Size)
 	fmt.Fprintf(&b, "%-12s %-20s %8s %8s %8s %8s\n", "workload", "setup", "kernel", "memcpy", "alloc", "total")
 	for _, row := range s.Rows {
-		for i, setup := range cuda.AllSetups {
+		for i, setup := range s.Setups {
 			k, m, a, t := row.Normalized(i)
 			name := ""
 			if i == 0 {
@@ -101,12 +101,18 @@ func (s *BreakdownStudy) Render(title string) string {
 		}
 	}
 	fmt.Fprintf(&b, "\ngeo-mean improvement over standard:")
-	for _, setup := range cuda.AllSetups[1:] {
+	for i, setup := range s.Setups {
+		if i == s.Baseline {
+			continue
+		}
 		fmt.Fprintf(&b, "  %s %+.2f%%", setup, 100*s.GeoMeanImprovement(setup))
 	}
 	fmt.Fprintln(&b)
 	fmt.Fprintf(&b, "mean memcpy savings over standard: ")
-	for _, setup := range cuda.AllSetups[1:] {
+	for i, setup := range s.Setups {
+		if i == s.Baseline {
+			continue
+		}
 		fmt.Fprintf(&b, "  %s %+.2f%%", setup, 100*s.ComponentSavings(setup, func(x cuda.Breakdown) float64 { return x.Memcpy }))
 	}
 	fmt.Fprintln(&b)
@@ -141,13 +147,13 @@ func (s *Sweep) Render(title string) string {
 	fmt.Fprintf(&b, "%s (%s input, vector_seq): totals normalized to standard@%v\n",
 		title, s.Size, s.Points[0].Param)
 	fmt.Fprintf(&b, "%-10s", s.ParamName)
-	for _, setup := range cuda.AllSetups {
+	for _, setup := range s.Setups {
 		fmt.Fprintf(&b, " %19s", setup)
 	}
 	fmt.Fprintln(&b)
 	for _, p := range s.Points {
 		fmt.Fprintf(&b, "%-10v", p.Param)
-		for si := range cuda.AllSetups {
+		for si := range s.Setups {
 			fmt.Fprintf(&b, " %19.3f", s.NormalizedPoint(p, si))
 		}
 		fmt.Fprintln(&b)

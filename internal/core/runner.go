@@ -1,5 +1,6 @@
 // Package core is the paper's experiment harness: it runs the benchmark
-// suite under the five data-transfer setups, repeats each measurement
+// suite under the registered data-transfer setups (the paper's five by
+// default; see cuda.Register and Runner.Setups), repeats each measurement
 // with fresh noise draws (the paper's 30 iterations), aggregates
 // execution-time breakdowns and hardware counters, and produces the data
 // behind every table and figure of the evaluation (Table 3, Figures
@@ -36,6 +37,14 @@ type Runner struct {
 	Config     cuda.SystemConfig
 	Iterations int
 	BaseSeed   int64
+
+	// Setups is the ordered setup list every multi-setup study iterates
+	// (figures, sweeps, counters, compare-profiles, trace-all). Nil
+	// means the paper's five-setup presentation (cuda.PaperSetups), so
+	// default output is byte-identical to the closed-enum harness.
+	// Studies record the list they ran under; improvement statistics
+	// normalize against the list's baseline setup (cuda.BaselineIndex).
+	Setups []cuda.Setup
 
 	// Parallelism is the worker count of the cell executor. Zero or
 	// negative means GOMAXPROCS; 1 forces the legacy serial path. The
@@ -138,6 +147,15 @@ func (r *Runner) releaseCtx(ctx *cuda.Context) {
 	if r.pool != nil {
 		r.pool.put(ctx)
 	}
+}
+
+// setups returns the effective study setup list: Runner.Setups when
+// set, the paper's five-setup presentation otherwise.
+func (r *Runner) setups() []cuda.Setup {
+	if len(r.Setups) > 0 {
+		return r.Setups
+	}
+	return cuda.PaperSetups()
 }
 
 // iters returns the effective iteration count.
@@ -337,16 +355,18 @@ func (r *Runner) measureCell(w workloads.Workload, setup cuda.Setup, size worklo
 	return res, nil
 }
 
-// MeasureAllSetups measures one workload at one size under all five
-// setups, returned in the paper's order. Managed setups cost several
-// times their explicit-copy peers, so the dispatch is cost-ordered.
+// MeasureAllSetups measures one workload at one size under every setup
+// in the runner's study list (the paper's five by default), returned in
+// that order. Managed setups cost several times their explicit-copy
+// peers, so the dispatch is cost-ordered.
 func (r *Runner) MeasureAllSetups(w workloads.Workload, size workloads.Size) ([]Result, error) {
-	out := make([]Result, len(cuda.AllSetups))
+	setups := r.setups()
+	out := make([]Result, len(setups))
 	order := r.lptOrder(len(out), func(i int) float64 {
-		return r.cellCost(w.Name(), cuda.AllSetups[i], size)
+		return r.cellCost(w.Name(), setups[i], size)
 	})
 	err := r.forEachOrdered(len(out), order, func(i int) error {
-		res, err := r.Measure(w, cuda.AllSetups[i], size)
+		res, err := r.Measure(w, setups[i], size)
 		if err != nil {
 			return err
 		}

@@ -79,7 +79,8 @@ func (r *Runner) TraceSetups(name string, size workloads.Size, setups []cuda.Set
 	return out, nil
 }
 
-// TraceAllSetups is TraceSetups over all five paper setups.
+// TraceAllSetups is TraceSetups over the runner's study list (the
+// paper's five setups unless Runner.Setups narrows or extends it).
 func (r *Runner) TraceAllSetups(name string, size workloads.Size) ([]*TraceResult, error) {
-	return r.TraceSetups(name, size, cuda.AllSetups)
+	return r.TraceSetups(name, size, r.setups())
 }

@@ -35,7 +35,7 @@ type SystemConfig struct {
 }
 
 // FitsFootprint reports whether a workload footprint can run under
-// every one of the five setups on this system: the explicit-copy setups
+// every registered setup on this system: the explicit-copy setups
 // need the whole footprint resident in device memory at once (managed
 // setups may oversubscribe), and every setup stages the footprint in
 // host DRAM, of which the worst ambient draw leaves

@@ -16,7 +16,7 @@ import (
 )
 
 // Context is one simulated process execution: a CUDA context on the
-// modelled system, under one of the five setups, with its own noise
+// modelled system, under one registered setup, with its own noise
 // draw. The paper measures 30 such executions per configuration; the
 // harness creates a fresh Context per iteration.
 //
@@ -189,8 +189,9 @@ type Buffer struct {
 func (b *Buffer) Managed() bool { return b.managed }
 
 // Alloc allocates a buffer the way the context's setup dictates:
-// cudaMallocManaged under the UVM setups, cudaMalloc otherwise. This is
-// the call workloads use so one implementation serves all five variants.
+// cudaMallocManaged under the managed setups, cudaMalloc otherwise.
+// This is the call workloads use so one implementation serves every
+// registered variant.
 func (c *Context) Alloc(name string, size int64) (*Buffer, error) {
 	if c.setup.Managed() {
 		return c.MallocManaged(name, size)
@@ -397,16 +398,26 @@ func (c *Context) Synchronize() {
 }
 
 // execConfig resolves the gpu.ExecConfig for a launch under this setup.
+// Zero-copy launches carry the link's effective bandwidth and latency
+// down into the analytic model, derived from the PCIe configuration —
+// the per-access remote cost lives in the gpu layer, the link
+// parameters in pcie.
 func (c *Context) execConfig(shared float64, pageSequential bool) gpu.ExecConfig {
 	kb := shared
 	if kb == 0 {
 		kb = c.SharedPerBlockKB
 	}
-	return gpu.ExecConfig{
+	e := gpu.ExecConfig{
 		Async:            c.setup.AsyncCopy(),
 		Managed:          c.setup.Managed(),
 		DriverPrefetch:   c.setup.Prefetch(),
 		PageSequential:   pageSequential,
 		SharedPerBlockKB: kb,
 	}
+	if c.setup.ZeroCopy() {
+		e.ZeroCopy = true
+		e.LinkBytesPerNs = c.cfg.PCIe.BytesPerNs() * c.cfg.PCIe.ZeroCopyEfficiency()
+		e.LinkLatencyNs = c.cfg.PCIe.LatencyNs
+	}
+	return e
 }

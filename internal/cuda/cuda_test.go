@@ -61,7 +61,7 @@ const largeN = 128 << 20 // 512 MB footprint ("Large" 1D input)
 
 func TestSetupNames(t *testing.T) {
 	want := []string{"standard", "async", "uvm", "uvm_prefetch", "uvm_prefetch_async"}
-	for i, s := range AllSetups {
+	for i, s := range PaperSetups() {
 		if s.String() != want[i] {
 			t.Errorf("setup %d name = %q, want %q", i, s, want[i])
 		}
@@ -287,7 +287,7 @@ func TestDeviceOOM(t *testing.T) {
 }
 
 func TestAllocKindFollowsSetup(t *testing.T) {
-	for _, s := range AllSetups {
+	for _, s := range Registered() {
 		ctx := NewContext(DefaultSystemConfig(), s, 10)
 		b, err := ctx.Alloc("x", 1<<20)
 		if err != nil {

@@ -13,7 +13,8 @@ import (
 func TestQuickBreakdownConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for iter := 0; iter < 60; iter++ {
-		setup := AllSetups[rng.Intn(len(AllSetups))]
+		setups := Registered()
+		setup := setups[rng.Intn(len(setups))]
 		n := int64(1+rng.Intn(64)) << 20 // 1..64M elements
 		seed := rng.Int63()
 
@@ -184,8 +185,10 @@ func TestKernelSpansOrdered(t *testing.T) {
 // footprint never exceeds the managed capacity, and the per-region O(1)
 // summaries agree with manager-level accounting.
 func TestEvictionBookkeepingAcrossSetups(t *testing.T) {
-	for _, setup := range AllSetups {
-		if !setup.Managed() {
+	for _, setup := range Registered() {
+		// Zero-copy is managed but never makes anything device-resident,
+		// so there is nothing to evict.
+		if !setup.Managed() || setup.ZeroCopy() {
 			continue
 		}
 		setup := setup

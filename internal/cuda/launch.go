@@ -40,6 +40,11 @@ type Launch struct {
 //     software pipeline); for irregular ones demand order is shuffled, so
 //     the kernel races ahead of the stream and faults anyway — the reason
 //     lud gains nothing from prefetching (§4.1.2).
+//   - uvm_zerocopy: the kernel accesses host-coherent memory in place;
+//     every load and store pays link bandwidth/latency inside the exec
+//     time, and no page ever migrates or writes back.
+//   - uvm_smcopy: the kernel's SMs stage non-resident inputs into device
+//     memory first (kernel-side bandwidth), then run at device speed.
 func (c *Context) Launch(l Launch) error {
 	// The error paths clone the names they box: interface-converting
 	// l.Spec.Name (or a buffer's Name) directly would leak l itself, and
@@ -93,7 +98,26 @@ func (c *Context) Launch(l Launch) error {
 	start := c.now
 	end := start + res.ExecTime*c.jitter(0.005)
 
-	if c.setup.Managed() {
+	switch {
+	case c.setup.ZeroCopy():
+		// In-place access over the link: the analytic model already
+		// priced every load and store at link bandwidth and latency, so
+		// the exec time stands. Nothing migrates, nothing becomes
+		// device-resident, nothing needs writing back — the link
+		// traffic is accounted as transfer counters without reserving
+		// the DMA links (SM-issued remote accesses bypass the copy
+		// engines, so the whole cost lands in kernel time).
+		storeBytes := float64(res.Spec.StoreBytes)
+		c.ctrs.H2DBytes += res.TrafficBytes - storeBytes
+		c.ctrs.D2HBytes += storeBytes
+	case c.setup.SMCopy():
+		// SM-driven staging: the kernel first copies its non-resident
+		// input chunks into device memory itself, serializing the
+		// staging with compute inside the kernel span (kernel-side
+		// bandwidth, not copy-engine bandwidth), then runs at device
+		// speed.
+		end = c.paceSMCopy(l, start) + (end - start)
+	case c.setup.Managed():
 		end = c.paceManaged(l, res, start)
 	}
 
@@ -101,11 +125,15 @@ func (c *Context) Launch(l Launch) error {
 	// are batched per region: MarkDeviceWritten does one capacity check
 	// for the region's whole non-resident remainder (falling back to
 	// per-chunk eviction only under pressure), and MarkDirty splices the
-	// full chunk range into the dirty index with one pass.
-	for _, b := range l.Writes {
-		if b.managed {
-			c.mgr.MarkDeviceWritten(b.region, end)
-			c.mgr.MarkDirty(b.region, 0, b.Size)
+	// full chunk range into the dirty index with one pass. Zero-copy
+	// writes go straight to host memory, so they mark nothing: there is
+	// no residency and no dirty state to write back.
+	if !c.setup.ZeroCopy() {
+		for _, b := range l.Writes {
+			if b.managed {
+				c.mgr.MarkDeviceWritten(b.region, end)
+				c.mgr.MarkDirty(b.region, 0, b.Size)
+			}
 		}
 	}
 
@@ -206,6 +234,49 @@ func (c *Context) paceManaged(l Launch, res gpu.LaunchResult, start float64) flo
 		cursor = avail + float64(size)*computePerByte
 	}
 	return cursor
+}
+
+// paceSMCopy models the uvm_smcopy staging pass: the kernel's own SMs
+// bulk-copy every non-resident input chunk from host to device memory
+// over the link before computing. Staging time is SM time — it extends
+// the kernel span and never reserves the DMA links, so the breakdown
+// attributes it to Kernel, not Memcpy (the defining difference from the
+// copy-engine setups). Staged chunks become device-resident through the
+// same capacity-checked path as device writes, so SM-copy keeps
+// migration's eviction pressure and its reuse benefit across launches:
+// already-resident chunks are skipped. Returns the staging end time.
+func (c *Context) paceSMCopy(l Launch, start float64) float64 {
+	bw := c.cfg.PCIe.BytesPerNs() * c.cfg.PCIe.SMCopyEfficiency()
+	chunkBytes := c.cfg.UVM.ChunkBytes
+	t := start
+	for _, b := range l.Reads {
+		var staged int64
+		for i := 0; i < b.region.NumChunks(); i++ {
+			if b.region.Resident(i) {
+				continue
+			}
+			size := chunkBytes
+			if rem := b.Size - int64(i)*chunkBytes; rem < size {
+				size = rem
+			}
+			staged += size
+		}
+		if staged == 0 {
+			continue
+		}
+		t += c.cfg.PCIe.LatencyNs + float64(staged)/bw
+		c.mgr.MarkDeviceWritten(b.region, t)
+		c.ctrs.H2DBytes += float64(staged)
+		if c.tracer.Enabled() {
+			// An instant, not a span: staging time lives inside the kernel
+			// span that Launch emits over [start, end], so a nested span
+			// would double-count Kernel-track busy time.
+			c.tracer.Instant(trace.Kernel, "sm_copy_stage", t, trace.Args{
+				Bytes: staged, Setup: c.setup.String(),
+			})
+		}
+	}
+	return t
 }
 
 // demandRef names one chunk of one launch input (an index into

@@ -1,24 +1,34 @@
 // Package cuda is the simulated CUDA runtime the workloads program
-// against. It exposes the paper's five data-transfer configurations
-// (standard, async, uvm, uvm_prefetch, uvm_prefetch_async), a CUDA-shaped
-// API (Malloc/MallocManaged/Free, MemcpyH2D/D2H, kernel launch,
-// Synchronize) and the execution-time breakdown the paper's harness
-// measures: data allocation, CPU-GPU data transfer, and GPU kernel time.
+// against. It exposes an open-ended registry of data-transfer setups —
+// seeded with the paper's five configurations (standard, async, uvm,
+// uvm_prefetch, uvm_prefetch_async) plus the zero-copy and SM-copy
+// extension modes — a CUDA-shaped API (Malloc/MallocManaged/Free,
+// MemcpyH2D/D2H, kernel launch, Synchronize) and the execution-time
+// breakdown the paper's harness measures: data allocation, CPU-GPU data
+// transfer, and GPU kernel time.
 package cuda
 
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"uvmasim/internal/nearest"
 )
 
-// Setup is one of the paper's five architecture configurations (§3.1.3).
+// Setup identifies one registered data-transfer configuration: an index
+// into the setup registry. The zero value is the standard setup.
 type Setup int
 
+// The built-in setups, registered in this order at package init. The
+// first five are the paper's §3.1.3 configurations; the last two are the
+// extension modes behind the ROADMAP's "new transfer modes" item.
 const (
 	// Standard uses explicit cudaMalloc + cudaMemcpy, synchronous tile
-	// staging.
+	// staging. It is the registry's baseline: improvement statistics are
+	// computed against it whenever a study includes it.
 	Standard Setup = iota
 	// Async keeps explicit transfers but stages tiles with memcpy_async.
 	Async
@@ -29,36 +39,182 @@ const (
 	// UVMPrefetchAsync combines UVM, prefetch and memcpy_async — the
 	// full three-stage pipeline of Figure 1.
 	UVMPrefetchAsync
+	// UVMZeroCopy accesses host-coherent managed memory in place over
+	// the link: no fault migration, no device residency, no eviction
+	// pressure — every access pays the link's latency/bandwidth instead
+	// (the MI300A-style unified-physical-memory mode).
+	UVMZeroCopy
+	// UVMSMCopy stages inputs with SM-driven bulk copies into device
+	// memory before computing: the transfer consumes kernel-side
+	// bandwidth and SM time instead of copy-engine bandwidth (the
+	// nvbandwidth SM-copy path).
+	UVMSMCopy
 )
 
-// AllSetups lists the five configurations in the paper's presentation
-// order.
-var AllSetups = []Setup{Standard, Async, UVM, UVMPrefetch, UVMPrefetchAsync}
+// Desc describes one registered setup: its wire/CLI name, its capability
+// bits, and its role in presentation (Paper marks membership in the
+// paper's default five-setup presentation; Baseline marks the setup
+// improvement statistics normalize against).
+type Desc struct {
+	Name string
 
-// String returns the paper's name for the setup.
+	// Managed marks buffers as cudaMallocManaged allocations.
+	Managed bool
+	// Prefetch issues cudaMemPrefetchAsync before kernels.
+	Prefetch bool
+	// AsyncCopy stages tiles with memcpy_async inside kernels.
+	AsyncCopy bool
+	// ZeroCopy accesses host memory in place over the link (implies
+	// Managed, excludes Prefetch and SMCopy).
+	ZeroCopy bool
+	// SMCopy stages inputs with SM-driven copies (implies Managed,
+	// excludes Prefetch and ZeroCopy).
+	SMCopy bool
+
+	// Baseline designates the improvement baseline. Studies that include
+	// a baseline setup normalize against it; studies that do not use
+	// their first setup.
+	Baseline bool
+	// Paper marks the setup as part of the paper's default presentation
+	// list (PaperSetups).
+	Paper bool
+}
+
+// registry holds the immutable descriptor snapshot; Register swaps in a
+// copy under regMu. Hot-path capability reads (Managed() in the demand
+// loop) are a single atomic load plus an index.
+var (
+	regMu    sync.Mutex
+	registry atomic.Value // []Desc
+)
+
+func init() {
+	registry.Store([]Desc{
+		{Name: "standard", Baseline: true, Paper: true},
+		{Name: "async", AsyncCopy: true, Paper: true},
+		{Name: "uvm", Managed: true, Paper: true},
+		{Name: "uvm_prefetch", Managed: true, Prefetch: true, Paper: true},
+		{Name: "uvm_prefetch_async", Managed: true, Prefetch: true, AsyncCopy: true, Paper: true},
+		{Name: "uvm_zerocopy", Managed: true, ZeroCopy: true},
+		{Name: "uvm_smcopy", Managed: true, SMCopy: true},
+	})
+}
+
+func descs() []Desc { return registry.Load().([]Desc) }
+
+// Register adds a setup descriptor to the registry and returns its
+// Setup. Names must be unique, non-empty and free of whitespace and
+// commas (they appear in CLI lists, store keys and JSON); capability
+// bits must be coherent (zero-copy and SM-copy are managed modes and
+// mutually exclusive, prefetch requires managed memory). Registration
+// is append-only: existing Setup values never change meaning.
+func Register(d Desc) (Setup, error) {
+	if d.Name == "" {
+		return 0, fmt.Errorf("cuda: setup name must not be empty")
+	}
+	if strings.ContainsAny(d.Name, " \t\n,") {
+		return 0, fmt.Errorf("cuda: setup name %q must not contain whitespace or commas", d.Name)
+	}
+	if d.ZeroCopy && d.SMCopy {
+		return 0, fmt.Errorf("cuda: setup %q: zero-copy and SM-copy are mutually exclusive", d.Name)
+	}
+	if (d.ZeroCopy || d.SMCopy) && !d.Managed {
+		return 0, fmt.Errorf("cuda: setup %q: zero-copy and SM-copy modes require managed memory", d.Name)
+	}
+	if d.ZeroCopy && d.Prefetch {
+		return 0, fmt.Errorf("cuda: setup %q: zero-copy never migrates, prefetch does not apply", d.Name)
+	}
+	if d.Prefetch && !d.Managed {
+		return 0, fmt.Errorf("cuda: setup %q: prefetch requires managed memory", d.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	cur := descs()
+	for _, e := range cur {
+		if e.Name == d.Name {
+			return 0, fmt.Errorf("cuda: setup %q already registered", d.Name)
+		}
+	}
+	next := make([]Desc, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = d
+	registry.Store(next)
+	return Setup(len(cur)), nil
+}
+
+// Registered returns every registered setup in registration order. The
+// slice is fresh; callers may reorder it.
+func Registered() []Setup {
+	n := len(descs())
+	out := make([]Setup, n)
+	for i := range out {
+		out[i] = Setup(i)
+	}
+	return out
+}
+
+// PaperSetups returns the setups of the paper's default presentation
+// (the original five), in the paper's order. The slice is fresh.
+func PaperSetups() []Setup {
+	var out []Setup
+	for i, d := range descs() {
+		if d.Paper {
+			out = append(out, Setup(i))
+		}
+	}
+	return out
+}
+
+// SetupNames returns every registered setup name in registration order,
+// for inventory listings and nearest-name hints.
+func SetupNames() []string {
+	ds := descs()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// BaselineIndex returns the position, within the given study list, of
+// the setup improvement statistics should normalize against: the first
+// registered Baseline setup present, or position 0 when none is. An
+// empty list returns 0.
+func BaselineIndex(setups []Setup) int {
+	for i, s := range setups {
+		if d, ok := s.Describe(); ok && d.Baseline {
+			return i
+		}
+	}
+	return 0
+}
+
+// Describe returns the setup's registry descriptor; ok is false for a
+// Setup value outside the registry.
+func (s Setup) Describe() (Desc, bool) {
+	ds := descs()
+	if s < 0 || int(s) >= len(ds) {
+		return Desc{}, false
+	}
+	return ds[int(s)], true
+}
+
+// String returns the setup's registered name.
 func (s Setup) String() string {
-	switch s {
-	case Standard:
-		return "standard"
-	case Async:
-		return "async"
-	case UVM:
-		return "uvm"
-	case UVMPrefetch:
-		return "uvm_prefetch"
-	case UVMPrefetchAsync:
-		return "uvm_prefetch_async"
+	if d, ok := s.Describe(); ok {
+		return d.Name
 	}
 	return fmt.Sprintf("Setup(%d)", int(s))
 }
 
-// MarshalJSON encodes the setup as its paper name, so machine-readable
-// figure output carries "uvm_prefetch" rather than an enum ordinal.
+// MarshalJSON encodes the setup as its registered name, so
+// machine-readable figure output carries "uvm_prefetch" rather than a
+// registry ordinal.
 func (s Setup) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
-// UnmarshalJSON decodes a paper name back into a Setup.
+// UnmarshalJSON decodes a registered name back into a Setup.
 func (s *Setup) UnmarshalJSON(data []byte) error {
 	var name string
 	if err := json.Unmarshal(data, &name); err != nil {
@@ -72,29 +228,73 @@ func (s *Setup) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// ParseSetup resolves a setup by its paper name.
+// ParseSetup resolves a setup by its registered name, suggesting the
+// nearest registered name on a miss.
 func ParseSetup(name string) (Setup, error) {
-	names := make([]string, len(AllSetups))
-	for i, s := range AllSetups {
-		if s.String() == name {
-			return s, nil
+	ds := descs()
+	for i, d := range ds {
+		if d.Name == name {
+			return Setup(i), nil
 		}
-		names[i] = AllSetups[i].String()
 	}
-	return 0, fmt.Errorf("cuda: unknown setup %q%s", name, nearest.Hint(name, names, 3))
+	return 0, fmt.Errorf("cuda: unknown setup %q%s", name, nearest.Hint(name, SetupNames(), 3))
+}
+
+// ParseSetupList resolves a comma-separated list of registered setup
+// names (the -setups flag and the serve spec's "setups" field), in
+// order, rejecting unknown names, empty lists and duplicates upfront.
+func ParseSetupList(list string) ([]Setup, error) {
+	var out []Setup
+	seen := make(map[Setup]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := ParseSetup(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("cuda: setup %q listed twice", name)
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cuda: setup list names no setups")
+	}
+	return out, nil
 }
 
 // Managed reports whether buffers allocate through cudaMallocManaged.
 func (s Setup) Managed() bool {
-	return s == UVM || s == UVMPrefetch || s == UVMPrefetchAsync
+	d, _ := s.Describe()
+	return d.Managed
 }
 
 // Prefetch reports whether cudaMemPrefetchAsync is issued before kernels.
 func (s Setup) Prefetch() bool {
-	return s == UVMPrefetch || s == UVMPrefetchAsync
+	d, _ := s.Describe()
+	return d.Prefetch
 }
 
 // AsyncCopy reports whether kernels stage tiles with memcpy_async.
 func (s Setup) AsyncCopy() bool {
-	return s == Async || s == UVMPrefetchAsync
+	d, _ := s.Describe()
+	return d.AsyncCopy
+}
+
+// ZeroCopy reports whether kernels access host-coherent memory in place
+// over the link instead of migrating pages.
+func (s Setup) ZeroCopy() bool {
+	d, _ := s.Describe()
+	return d.ZeroCopy
+}
+
+// SMCopy reports whether kernels stage inputs with SM-driven copies
+// before computing.
+func (s Setup) SMCopy() bool {
+	d, _ := s.Describe()
+	return d.SMCopy
 }

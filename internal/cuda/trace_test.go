@@ -66,7 +66,7 @@ func relClose(a, b float64) bool {
 // the trace's per-track spans, and attaching a tracer must not perturb
 // the simulated timing at all.
 func TestBreakdownReconcilesWithTrace(t *testing.T) {
-	for _, setup := range AllSetups {
+	for _, setup := range Registered() {
 		setup := setup
 		t.Run(setup.String(), func(t *testing.T) {
 			const seed = 42

@@ -29,6 +29,18 @@ type ExecConfig struct {
 	// SharedPerBlockKB is the shared-memory allocation per block in KB.
 	// Zero selects the paper's default static allocation of 32 KB.
 	SharedPerBlockKB float64
+	// ZeroCopy marks the kernel's buffers as host-resident, accessed in
+	// place over the host link (the uvm_zerocopy setup): the global
+	// fetch and store paths pay the link's bandwidth and latency instead
+	// of HBM's, and no page ever migrates.
+	ZeroCopy bool
+	// LinkBytesPerNs is the effective per-direction host-link bandwidth
+	// available to SM-issued remote accesses, already derated for
+	// fine-grained access. Used only when ZeroCopy is set.
+	LinkBytesPerNs float64
+	// LinkLatencyNs is the round-trip latency of one remote access over
+	// the host link. Used only when ZeroCopy is set.
+	LinkLatencyNs float64
 }
 
 // normalizedShared returns the per-block shared allocation in bytes.
@@ -71,7 +83,9 @@ type LaunchResult struct {
 	// HideFactor is the achieved fraction of peak memory-level
 	// parallelism (1 = latency fully hidden).
 	HideFactor float64
-	// TrafficBytes is the HBM traffic the kernel generates.
+	// TrafficBytes is the memory traffic the kernel generates: HBM
+	// traffic for device-resident launches, host-link traffic for
+	// zero-copy launches.
 	TrafficBytes float64
 
 	Inst counters.InstMix
@@ -181,7 +195,14 @@ func (m *Model) hideFactor(s KernelSpec, e ExecConfig, occ Occupancy) float64 {
 			inflight = perThreadBuf
 		}
 	}
-	demand := c.HBMLatencyNs * c.HBMBytesPerNs()
+	latency, bw := c.HBMLatencyNs, c.HBMBytesPerNs()
+	if e.ZeroCopy && e.LinkBytesPerNs > 0 {
+		// Remote accesses must cover the link's bandwidth-latency
+		// product; the link's low bandwidth makes that product small, so
+		// modest thread counts hide the (much longer) remote latency.
+		latency, bw = e.LinkLatencyNs, e.LinkBytesPerNs
+	}
+	demand := latency * bw
 	h := float64(occ.ActiveThreads) * inflight / demand
 	if h > 1 {
 		h = 1
@@ -319,17 +340,36 @@ func (m *Model) Launch(spec KernelSpec, e ExecConfig) LaunchResult {
 	} else {
 		loadTraffic = algLoads * trafficFactor(s.Access, false)
 	}
+	if e.ZeroCopy {
+		// In-place remote access gathers at line granularity with warp
+		// coalescing — the coalesced overfetch column, like async
+		// staging granules — and every algorithmic byte crosses the
+		// link. Reuse is never amortized by residency, which is why
+		// zero-copy loses to migration on dense-reuse kernels and wins
+		// on sparse single-pass ones.
+		loadTraffic = algLoads * trafficFactor(s.Access, true)
+	}
 	storeTraffic := float64(s.StoreBytes)
 	traffic := loadTraffic + storeTraffic
 
 	// Memory path times.
 	dramEff := s.Access.dramEfficiency()
-	if e.Async {
-		// Hardware-coalesced bulk copies are less pattern-sensitive.
+	if e.Async || e.ZeroCopy {
+		// Hardware-coalesced bulk copies are less pattern-sensitive, and
+		// so is host DRAM behind a transaction-based link: the pattern
+		// cost of remote access is already charged as line-granularity
+		// overfetch in trafficFactor, so only residual row-buffer
+		// sensitivity derates the link.
 		dramEff = math.Sqrt(dramEff)
 	}
-	fetch := loadTraffic / (c.HBMBytesPerNs() * dramEff * hide)
-	store := storeTraffic / (c.HBMBytesPerNs() * math.Sqrt(s.Access.dramEfficiency()) * hide)
+	memBW := c.HBMBytesPerNs()
+	if e.ZeroCopy && e.LinkBytesPerNs > 0 {
+		// Loads and stores travel the host link instead of HBM; host
+		// DRAM scatter sensitivity still applies through dramEff.
+		memBW = e.LinkBytesPerNs
+	}
+	fetch := loadTraffic / (memBW * dramEff * hide)
+	store := storeTraffic / (memBW * math.Sqrt(s.Access.dramEfficiency()) * hide)
 	if e.Managed {
 		// Page-walk overhead plus the extra evictions the UVM
 		// prefetcher's streamed lines cause in a shrunken L1 (the

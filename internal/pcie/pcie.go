@@ -38,6 +38,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// BytesPerNs returns the peak per-direction link bandwidth in bytes/ns
+// (numerically equal to GB/s; see sim.GBPerSec).
+func (c Config) BytesPerNs() float64 { return c.BandwidthGBs }
+
+// ZeroCopyEfficiency is the link efficiency of SM-issued in-place
+// accesses to host-coherent memory (the uvm_zerocopy mode): warp-
+// coalesced line bursts achieve about what the fault path's driver-
+// coalesced 64 KB blocks do, so coherent links (high FaultEfficiency)
+// are exactly the machines where zero-copy shines.
+func (c Config) ZeroCopyEfficiency() float64 { return c.FaultEfficiency }
+
+// SMCopyEfficiency is the link efficiency of SM-driven bulk staging
+// copies (the uvm_smcopy mode): wide unrolled SM copies saturate the
+// link nearly as well as the copy engines, minus a small issue overhead
+// (nvbandwidth's SM-copy vs CE-copy gap).
+func (c Config) SMCopyEfficiency() float64 { return c.BulkEfficiency * 0.95 }
+
 // Bus bundles the two DMA directions.
 type Bus struct {
 	cfg Config

@@ -279,7 +279,7 @@ func TestResolve(t *testing.T) {
 }
 
 // TestBuiltinsRunTiny runs the smallest paper workload on every built-in
-// machine under all five transfer setups: each preset must be a complete,
+// machine under every registered transfer setup: each preset must be a complete,
 // runnable system model, not just a bag of plausible numbers.
 func TestBuiltinsRunTiny(t *testing.T) {
 	w, err := workloads.ByName("vector_seq")
@@ -287,7 +287,7 @@ func TestBuiltinsRunTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range Builtins() {
-		for _, setup := range cuda.AllSetups {
+		for _, setup := range cuda.Registered() {
 			ctx := p.NewContext(setup, 1)
 			if err := w.Run(ctx, workloads.Tiny); err != nil {
 				t.Errorf("%s/%s: %v", p.Name, setup, err)

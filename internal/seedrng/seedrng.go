@@ -42,7 +42,7 @@ const (
 
 // maxCached bounds the seed-state cache: 4096 entries x ~4.9 KB. The
 // harness's seed space per process is far smaller (seeds recur across
-// the five setups of every cell), so eviction is a safety valve, not a
+// every setup of every cell), so eviction is a safety valve, not a
 // steady state. Eviction order is arbitrary — the cache affects speed
 // only, never a draw.
 const maxCached = 4096

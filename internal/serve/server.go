@@ -295,6 +295,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	rr := *base
 	rr.Iterations = req.Iters
 	rr.BaseSeed = req.Seed
+	rr.Setups = req.Setups
 	if req.ItPar > 0 {
 		rr.IterParallelism = req.ItPar
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"uvmasim/internal/core"
+	"uvmasim/internal/cuda"
 	"uvmasim/internal/nearest"
 	"uvmasim/internal/profile"
 	"uvmasim/internal/workloads"
@@ -31,7 +32,11 @@ type Spec struct {
 	// built-ins), again built-in names only.
 	Profiles []string `json:"profiles,omitempty"`
 	Workload string   `json:"workload,omitempty"` // compare-profiles workload (default gemm)
-	Size     string   `json:"size,omitempty"`     // size-class override (default per figure)
+	// Setups is the study's setup subset by registered name, exactly the
+	// CLI -setups list (empty = the paper's five). Unknown names fail
+	// with a nearest-name hint before anything simulates.
+	Setups []string `json:"setups,omitempty"`
+	Size   string   `json:"size,omitempty"` // size-class override (default per figure)
 	Iters    int      `json:"iters,omitempty"`    // iterations per configuration (default 30)
 	Seed     *int64   `json:"seed,omitempty"`     // base random seed (default 1)
 	Jobs     int      `json:"jobs,omitempty"`     // fig14 batch size (default 8)
@@ -43,8 +48,8 @@ type Spec struct {
 
 // specFields lists the accepted JSON keys, for typo suggestions.
 var specFields = []string{
-	"figure", "figures", "profile", "profiles", "workload", "size",
-	"iters", "seed", "jobs", "itpar",
+	"figure", "figures", "profile", "profiles", "workload", "setups",
+	"size", "iters", "seed", "jobs", "itpar",
 }
 
 // ParseSpec decodes and validates a request body. Unknown fields and
@@ -74,7 +79,8 @@ type Request struct {
 	Profile profile.Profile
 	Iters   int
 	Seed    int64
-	ItPar   int // intra-cell fan-out override (0 = server setting)
+	ItPar   int          // intra-cell fan-out override (0 = server setting)
+	Setups  []cuda.Setup // resolved study subset (nil = paper five)
 	Opt     FigureOptions
 }
 
@@ -138,6 +144,13 @@ func (s *Spec) resolve(defaultProfile profile.Profile) (*Request, error) {
 			return nil, err
 		}
 		req.Opt.Workload = s.Workload
+	}
+	if len(s.Setups) > 0 {
+		setups, err := cuda.ParseSetupList(strings.Join(s.Setups, ","))
+		if err != nil {
+			return nil, err
+		}
+		req.Setups = setups
 	}
 	if s.Size != "" {
 		if _, err := workloads.ParseSize(s.Size); err != nil {

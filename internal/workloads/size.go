@@ -1,7 +1,7 @@
 // Package workloads implements the paper's benchmark suite: the 7
 // microbenchmarks and 14 real-world applications of Table 2, each written
-// once against the cuda API so that all five data-transfer setups run the
-// same code. Every workload has two faces:
+// once against the cuda API so that every registered data-transfer setup
+// runs the same code. Every workload has two faces:
 //
 //   - a functional implementation (pure Go) validated against an
 //     independent reference at small scale, from which

@@ -26,4 +26,7 @@ func init() {
 	register(newResNet50(), false)
 	register(newYoloV3Tiny(), false)
 	register(newYoloV3(), false)
+
+	// Extras: selectable by name, outside the Table 2 figure grids.
+	registerExtra(newVectorGather())
 }

@@ -24,7 +24,7 @@ type Workload interface {
 }
 
 var registry = map[string]Workload{}
-var microNames, appNames []string
+var microNames, appNames, extraNames []string
 
 // register adds w to the suite. micro selects the microbenchmark group.
 func register(w Workload, micro bool) {
@@ -37,6 +37,17 @@ func register(w Workload, micro bool) {
 	} else {
 		appNames = append(appNames, w.Name())
 	}
+}
+
+// registerExtra adds a workload reachable through ByName but outside the
+// paper's Table 2 groups, so the default figure grids (and their golden
+// artifacts) are untouched while named studies can still select it.
+func registerExtra(w Workload) {
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", w.Name()))
+	}
+	registry[w.Name()] = w
+	extraNames = append(extraNames, w.Name())
 }
 
 // ByName returns a registered workload.
@@ -55,8 +66,12 @@ func Micro() []Workload { return byNames(microNames) }
 // Apps returns the 14 real-world applications in registration order.
 func Apps() []Workload { return byNames(appNames) }
 
-// All returns every workload, micro first.
-func All() []Workload { return append(Micro(), Apps()...) }
+// Extras returns the workloads outside the paper's Table 2 groups in
+// registration order.
+func Extras() []Workload { return byNames(extraNames) }
+
+// All returns every workload: micro first, then apps, then extras.
+func All() []Workload { return append(append(Micro(), Apps()...), Extras()...) }
 
 // Names returns all registered names, sorted.
 func Names() []string {

@@ -19,11 +19,11 @@ func TestValidateAll(t *testing.T) {
 	}
 }
 
-// TestRunAllSetups executes every workload under all five setups at a
-// small class and checks the breakdown is sane.
+// TestRunAllSetups executes every workload under every registered setup
+// at a small class and checks the breakdown is sane.
 func TestRunAllSetups(t *testing.T) {
 	for _, w := range All() {
-		for _, setup := range cuda.AllSetups {
+		for _, setup := range cuda.Registered() {
 			w, setup := w, setup
 			t.Run(w.Name()+"/"+setup.String(), func(t *testing.T) {
 				ctx := cuda.NewContext(cuda.DefaultSystemConfig(), setup, 11)
