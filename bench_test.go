@@ -19,9 +19,11 @@ import (
 	"uvmasim/internal/counters"
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/pcie"
+	"uvmasim/internal/sched"
 	"uvmasim/internal/serve"
 	"uvmasim/internal/sim"
 	"uvmasim/internal/store"
+	"uvmasim/internal/topo"
 	"uvmasim/internal/uvm"
 	"uvmasim/internal/workloads"
 )
@@ -251,6 +253,36 @@ func BenchmarkOversubscription(b *testing.B) {
 		}
 	}
 	b.ReportMetric(evicted/(1<<30), "GiB-evicted")
+}
+
+// BenchmarkMultiGPU regenerates the full multi-GPU schedule artifact —
+// the default 1/2/4-GPU sweep over both topologies, serial and
+// pipelined, so 12 DES schedules plus the analytic §6 oracle — with the
+// cell cache off, so every op pays the inner workload measurement and
+// every schedule replay. Its ns/op is the committed baseline in
+// BENCH_multigpu.json; CI fails if it regresses more than 3x
+// (scripts/bench_multigpu.sh).
+func BenchmarkMultiGPU(b *testing.B) {
+	r := benchRunner()
+	var retained float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		study, err := r.MultiGPU("vector_seq", cuda.UVMPrefetchAsync, workloads.Super,
+			8, []int{1, 2, 4}, []topo.Kind{topo.PCIeSwitch, topo.NVLink}, sched.LeastLoaded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained = 0
+		for _, p := range study.Points {
+			if p.Topology == string(topo.PCIeSwitch) && p.GPUs == 4 {
+				retained = 100 * p.Improvement
+			}
+		}
+		if study.Analytic.Improvement <= 0 {
+			b.Fatal("analytic projection shows no pipeline gain")
+		}
+	}
+	b.ReportMetric(retained, "%gain-4gpu-switch")
 }
 
 // BenchmarkFigureSuite regenerates the fig4 distribution grid plus the

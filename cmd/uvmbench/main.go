@@ -14,6 +14,7 @@
 //	uvmbench fig12             threads-per-block sensitivity sweep
 //	uvmbench fig13             L1/shared partition sensitivity sweep
 //	uvmbench fig14             inter-job pipeline model (§6)
+//	uvmbench multigpu          fig14 headroom under multi-GPU contention
 //	uvmbench micro|apps        §4.1 geomean summaries
 //	uvmbench trace             record a Perfetto-loadable run timeline
 //	uvmbench list              workload inventory
@@ -38,7 +39,10 @@
 // standard,uvm,uvm_zerocopy — that every study iterates instead of the
 // paper's default five; unknown names fail upfront with a nearest-name
 // hint), -workload and -setup (select the traced/compared run; an empty
-// -setup traces every study setup), -out (directory for trace files),
+// -setup traces every study setup), -gpus, -topology and -policy (the
+// multigpu grid: device-count list, interconnect shapes and placement
+// policy; with the trace subcommand they select per-GPU schedule
+// timelines instead), -out (directory for trace files),
 // -cpuprofile and -memprofile
 // (write pprof profiles covering the whole invocation), -cache-dir (the
 // persistent cell store: hits skip simulation, misses are written back,
@@ -102,6 +106,9 @@ type options struct {
 	json      bool
 	workload  string
 	setupName string
+	gpus      string // -gpus device-count list for multigpu ("" = default grid)
+	topology  string // -topology interconnect list for multigpu
+	policy    string // -policy placement for multigpu
 	setups    []cuda.Setup // resolved -setups study list (nil = paper five)
 	outDir    string
 	profiles  string            // -profiles list for compare-profiles
@@ -116,9 +123,9 @@ type options struct {
 
 // emit prints either the text rendering or the JSON document, depending
 // on the -json flag.
-func (o *options) emit(text string, doc core.FigureDoc) error {
+func (o *options) emit(text func() string, doc core.FigureDoc) error {
 	if !o.json {
-		fmt.Fprint(o.out, text)
+		fmt.Fprint(o.out, text())
 		return nil
 	}
 	s, err := core.RenderJSON(doc)
@@ -133,8 +140,8 @@ func (o *options) emit(text string, doc core.FigureDoc) error {
 // `fig4,nope` must fail before fig4 spends seconds simulating).
 var commandNames = []string{
 	"list", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub", "trace",
-	"profiles", "compare-profiles", "merge", "serve", "all",
+	"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub", "multigpu",
+	"trace", "profiles", "compare-profiles", "merge", "serve", "all",
 }
 
 func knownCommand(cmd string) bool {
@@ -177,7 +184,10 @@ func run(args []string) error {
 	iters := fs.Int("i", core.DefaultIterations, "iterations per configuration")
 	seed := fs.Int64("seed", 1, "base random seed")
 	sizeName := fs.String("size", "", "override input-size class (tiny..mega)")
-	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model")
+	jobs := fs.Int("jobs", 8, "batch size for the fig14 pipeline model and the multigpu grid")
+	gpusCSV := fs.String("gpus", "", "multigpu: comma-separated device counts to sweep (empty = "+serve.DefaultGPUs+")")
+	topology := fs.String("topology", "", "multigpu: comma-separated interconnects, pcie-switch and/or nvlink (empty = "+serve.DefaultTopology+")")
+	policy := fs.String("policy", "", "multigpu: placement policy, first-fit, least-loaded or bandwidth-aware (empty = "+serve.DefaultPolicy+")")
 	par := fs.Int("par", 0, "experiment executor workers (0 = all cores, 1 = serial); output is identical at any value")
 	itpar := fs.Int("itpar", 0, "intra-cell iteration workers (0 = executor width, 1 = serial iterations); output is identical at any value")
 	jsonOut := fs.Bool("json", false, "emit figure data as a JSON document instead of a text table")
@@ -197,7 +207,7 @@ func run(args []string) error {
 		fmt.Fprintln(w, "usage: uvmbench [flags] <subcommand>[,<subcommand>...]")
 		fmt.Fprintln(w, "       uvmbench [flags] merge <shard.json> ...")
 		fmt.Fprintln(w, "       uvmbench [flags] serve")
-		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub trace list profiles compare-profiles merge serve all")
+		fmt.Fprintln(w, "subcommands: table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 micro apps oversub multigpu trace list profiles compare-profiles merge serve all")
 		fmt.Fprintln(w, "flags:")
 		fs.SetOutput(w)
 		fs.PrintDefaults()
@@ -241,6 +251,13 @@ func run(args []string) error {
 		studySetups, err = cuda.ParseSetupList(*setupsCSV)
 		if err != nil {
 			return fmt.Errorf("-setups: %w", err)
+		}
+	}
+	if *gpusCSV != "" || *topology != "" || *policy != "" || containsCmd(cmds, "multigpu") {
+		if _, _, _, err := serve.ResolveMultiGPU(serve.FigureOptions{
+			GPUs: *gpusCSV, Topology: *topology, Policy: *policy,
+		}); err != nil {
+			return err
 		}
 	}
 	if containsCmd(cmds, "merge") {
@@ -311,6 +328,9 @@ func run(args []string) error {
 		json:      *jsonOut,
 		workload:  *workload,
 		setupName: *setupName,
+		gpus:      *gpusCSV,
+		topology:  *topology,
+		policy:    *policy,
 		setups:    studySetups,
 		outDir:    *outDir,
 		profiles:  *profs,
@@ -337,6 +357,9 @@ func run(args []string) error {
 			Jobs:     *jobs,
 			Workload: *workload,
 			Setups:   setupNames(studySetups),
+			Gpus:     *gpusCSV,
+			Topology: *topology,
+			Policy:   *policy,
 			Profile:  p,
 		}
 		if containsCmd(cmds, "compare-profiles") {
@@ -530,7 +553,7 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 
 	case "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub",
-		"compare-profiles":
+		"multigpu", "compare-profiles":
 		// The figure dispatch lives in internal/serve and is shared with
 		// the HTTP service, which is what keeps POST /v1/experiments
 		// responses byte-identical to -json output: both sides render the
@@ -541,6 +564,9 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 			Workload:    o.workload,
 			ProfilesCSV: o.profiles,
 			Profiles:    o.fixed,
+			GPUs:        o.gpus,
+			Topology:    o.topology,
+			Policy:      o.policy,
 		})
 		if err != nil {
 			return err
@@ -552,7 +578,7 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 
 	case "all":
 		for _, sub := range []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "oversub"} {
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "oversub", "multigpu"} {
 			if !o.json {
 				fmt.Fprintf(o.out, "==== %s ====\n", sub)
 			}
@@ -566,6 +592,74 @@ func dispatch(r *core.Runner, cmd string, o *options) error {
 		return nil
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// runMultiGPUTrace writes per-GPU schedule timelines for the multigpu
+// grid: one Chrome trace-event file per (topology, device count,
+// schedule), each with host-alloc/transfer/kernel rows per GPU. It is
+// selected by passing any of -gpus/-topology/-policy to the trace
+// subcommand, and replays the same deterministic schedules the multigpu
+// figure measures (same workload, setup and default grid).
+func runMultiGPUTrace(r *core.Runner, o *options) error {
+	size, err := o.sizeOr(workloads.Super)
+	if err != nil {
+		return err
+	}
+	gpus, topos, policy, err := serve.ResolveMultiGPU(serve.FigureOptions{
+		GPUs: o.gpus, Topology: o.topology, Policy: o.policy,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(o.outDir, 0o755); err != nil {
+		return err
+	}
+	var infos []any
+	for _, kind := range topos {
+		for _, g := range gpus {
+			for _, schedName := range []string{"serial", "pipelined"} {
+				st, err := r.MultiGPUTrace("vector_seq", cuda.UVMPrefetchAsync, size,
+					o.jobs, kind, g, policy, schedName == "pipelined")
+				if err != nil {
+					return err
+				}
+				path := filepath.Join(o.outDir,
+					fmt.Sprintf("trace_multigpu_%s_%d_%s.json", kind, g, schedName))
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := st.WriteChromeTrace(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				if o.json {
+					infos = append(infos, struct {
+						Topology   string  `json:"topology"`
+						GPUs       int     `json:"gpus"`
+						Schedule   string  `json:"schedule"`
+						Path       string  `json:"path"`
+						Jobs       int     `json:"jobs"`
+						MakespanNs float64 `json:"makespan_ns"`
+					}{string(kind), g, schedName, path, len(st.Jobs), st.Makespan})
+					continue
+				}
+				fmt.Fprintf(o.out, "wrote %s (%d jobs, makespan %12.2f ms)\n",
+					path, len(st.Jobs), st.Makespan/1e6)
+			}
+		}
+	}
+	if o.json {
+		s, err := core.RenderJSON(core.FigureDoc{Figure: "trace", Data: infos})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(o.out, s)
+	}
+	return nil
 }
 
 // runProfiles implements the profiles subcommand. With no argument (or
@@ -608,6 +702,9 @@ func runProfiles(o *options) error {
 // executor (each binds its own tracer), and the files are byte-identical
 // for a given seed at any -par.
 func runTrace(r *core.Runner, o *options) error {
+	if o.gpus != "" || o.topology != "" || o.policy != "" {
+		return runMultiGPUTrace(r, o)
+	}
 	size, err := o.sizeOr(workloads.Large)
 	if err != nil {
 		return err

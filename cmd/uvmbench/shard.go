@@ -40,7 +40,12 @@ type shardSpec struct {
 	// Setups is the -setups study list by registered name; empty means
 	// the paper's five (omitted from JSON, so artifacts from builds
 	// without the flag still merge).
-	Setups   []string          `json:"setups,omitempty"`
+	Setups []string `json:"setups,omitempty"`
+	// Gpus/Topology/Policy pin the multigpu grid flags; empty means the
+	// figure defaults (omitted, so pre-multigpu artifacts still merge).
+	Gpus     string            `json:"gpus,omitempty"`
+	Topology string            `json:"topology,omitempty"`
+	Policy   string            `json:"policy,omitempty"`
 	Profile  profile.Profile   `json:"profile"`
 	Profiles []profile.Profile `json:"profiles,omitempty"`
 }
@@ -278,6 +283,9 @@ func runMerge(files []string, par, itpar int, jsonOut bool, cacheDir string) err
 		sizeName: spec.Size,
 		jobs:     spec.Jobs,
 		workload: spec.Workload,
+		gpus:     spec.Gpus,
+		topology: spec.Topology,
+		policy:   spec.Policy,
 		fixed:    spec.Profiles,
 	}
 	o.sizeOr = sizeOrFunc(spec.Size)

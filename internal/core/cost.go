@@ -58,7 +58,9 @@ const (
 
 // staticCellSeconds estimates one cell's simulation wall seconds from
 // its identity alone. kind is the cell-cache kind: a workload name, a
-// "sweep:<fig>:<param>" id, or "oversub:<ratio>:<passes>".
+// "sweep:<fig>:<param>" id, an "oversub:<ratio>:<passes>" point, or a
+// "multigpu:<workload>:<topology>:<gpus>:<policy>:<jobs>:<schedule>"
+// grid point.
 func staticCellSeconds(cfg cuda.SystemConfig, kind string, setup cuda.Setup, size workloads.Size, iters int) float64 {
 	if iters < 1 {
 		iters = 1
@@ -66,6 +68,13 @@ func staticCellSeconds(cfg cuda.SystemConfig, kind string, setup cuda.Setup, siz
 	chunkBytes := cfg.UVM.ChunkBytes
 	if chunkBytes <= 0 {
 		chunkBytes = 2 << 20
+	}
+	if wname, gpus, jobs, ok := parseMultiGPUKind(kind); ok {
+		// A multigpu cell measures its workload once (one ordinary cell
+		// at the runner's iteration count) and replays the schedule as a
+		// handful of DES events per job and GPU.
+		return staticCellSeconds(cfg, wname, setup, size, iters) +
+			float64(jobs*gpus)*1e-7
 	}
 	if ratio, passes, ok := parseOversubKind(kind); ok {
 		capacity := float64(cfg.GPU.HBMCapacity) * cfg.ManagedCapacityFraction
@@ -96,6 +105,29 @@ func staticCellSeconds(cfg cuda.SystemConfig, kind string, setup cuda.Setup, siz
 		perIter = costIterBase + footprint/float64(1<<30)*costPerCopiedGiB
 	}
 	return float64(iters) * perIter
+}
+
+// parseMultiGPUKind decodes the
+// "multigpu:<workload>:<topology>:<gpus>:<policy>:<jobs>:<schedule>"
+// cell kind into the fields the cost model prices.
+func parseMultiGPUKind(kind string) (workload string, gpus, jobs int, ok bool) {
+	rest, found := strings.CutPrefix(kind, "multigpu:")
+	if !found {
+		return "", 0, 0, false
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 6 {
+		return "", 0, 0, false
+	}
+	gpus, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	jobs, err = strconv.Atoi(parts[4])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	return parts[0], gpus, jobs, true
 }
 
 // parseOversubKind decodes the "oversub:<ratio>:<passes>" cell kind.

@@ -316,6 +316,40 @@ func (m *MultiJobResult) Doc() FigureDoc {
 		m.AllocShare, m.KernelShare, m.Occupancy}}
 }
 
+// Doc packages the multi-GPU contention grid next to its analytic
+// reference.
+func (s *MultiGPUStudy) Doc() FigureDoc {
+	type schedule struct {
+		MakespanNs           float64 `json:"makespan_ns"`
+		ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+		Fairness             float64 `json:"fairness"`
+		TransferStretch      float64 `json:"transfer_stretch"`
+	}
+	toSchedule := func(m MultiGPUSchedule) schedule {
+		return schedule{m.Makespan, m.ThroughputJobsPerSec, m.Fairness, m.TransferStretch}
+	}
+	type point struct {
+		Topology    string   `json:"topology"`
+		GPUs        int      `json:"gpus"`
+		Serial      schedule `json:"serial"`
+		Pipelined   schedule `json:"pipelined"`
+		Improvement float64  `json:"improvement"`
+	}
+	points := make([]point, len(s.Points))
+	for i, p := range s.Points {
+		points[i] = point{p.Topology, p.GPUs, toSchedule(p.Serial), toSchedule(p.Pipelined), p.Improvement}
+	}
+	return FigureDoc{Figure: "multigpu", Data: struct {
+		Workload string         `json:"workload"`
+		Setup    cuda.Setup     `json:"setup"`
+		Size     workloads.Size `json:"size"`
+		Jobs     int            `json:"jobs"`
+		Policy   string         `json:"policy"`
+		Analytic any            `json:"analytic"`
+		Points   []point        `json:"points"`
+	}{s.Workload, s.Setup, s.Size, s.Jobs, s.Policy, s.Analytic.Doc().Data, points}}
+}
+
 // Doc packages the oversubscription sweep.
 func (s *OversubStudy) Doc() FigureDoc {
 	type point struct {

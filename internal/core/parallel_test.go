@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/sched"
+	"uvmasim/internal/topo"
 	"uvmasim/internal/workloads"
 )
 
@@ -46,6 +48,14 @@ func TestParallelDeterminism(t *testing.T) {
 		},
 		"oversub": func(r *Runner) (string, error) {
 			study, err := r.Oversubscription(cuda.UVMPrefetch, []float64{0.5, 1.1}, 2)
+			if err != nil {
+				return "", err
+			}
+			return study.Render(), nil
+		},
+		"multigpu": func(r *Runner) (string, error) {
+			study, err := r.MultiGPU("vector_seq", cuda.UVMPrefetchAsync, workloads.Large,
+				4, []int{1, 2}, []topo.Kind{topo.PCIeSwitch, topo.NVLink}, sched.LeastLoaded)
 			if err != nil {
 				return "", err
 			}

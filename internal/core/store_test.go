@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"uvmasim/internal/cuda"
+	"uvmasim/internal/sched"
 	"uvmasim/internal/store"
+	"uvmasim/internal/topo"
 	"uvmasim/internal/workloads"
 )
 
@@ -17,9 +19,10 @@ func storeRunner(s CellStore) *Runner {
 	return r
 }
 
-// renderSuite runs a mixed study set — a breakdown grid, a counter study
-// and an oversubscription sweep — and returns the concatenated rendered
-// output. It covers every cell shape the store must round-trip.
+// renderSuite runs a mixed study set — a breakdown grid, a counter
+// study, an oversubscription sweep and a multi-GPU schedule grid — and
+// returns the concatenated rendered output. It covers every cell shape
+// the store must round-trip.
 func renderSuite(t *testing.T, r *Runner) string {
 	t.Helper()
 	study, err := r.BreakdownComparison(workloads.Micro()[:3], workloads.Large)
@@ -34,7 +37,12 @@ func renderSuite(t *testing.T, r *Runner) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return study.Render("Figure 7") + cs.RenderFig9() + ov.Render()
+	mg, err := r.MultiGPU("vector_seq", cuda.UVMPrefetchAsync, workloads.Large,
+		3, []int{1, 2}, []topo.Kind{topo.PCIeSwitch, topo.NVLink}, sched.LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study.Render("Figure 7") + cs.RenderFig9() + ov.Render() + mg.Render()
 }
 
 // TestStoreWarmRerun is the tentpole's core guarantee: a second process

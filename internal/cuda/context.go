@@ -25,6 +25,13 @@ type Context struct {
 	cfg   SystemConfig
 	setup Setup
 
+	// device is the ordinal of the GPU this context is bound to
+	// (cudaSetDevice). Single-GPU studies leave it 0; the multi-GPU
+	// scheduler binds one context per device so buffers carry their
+	// placement. Binding is identity only — it never changes simulated
+	// timing, so single-device results are unaffected.
+	device int
+
 	eng   *sim.Engine
 	bus   *pcie.Bus
 	model *gpu.Model
@@ -100,6 +107,7 @@ func (c *Context) Reset(cfg SystemConfig, setup Setup, seed int64) {
 		return
 	}
 	c.setup = setup
+	c.device = 0 // a reset context matches a fresh one: bound to device 0
 	c.eng.Reset()
 	c.eng.SetTracer(nil)
 	c.bus.Reset()
@@ -162,6 +170,19 @@ func (c *Context) Tracer() *trace.Tracer { return c.tracer }
 // Setup returns the context's data-transfer configuration.
 func (c *Context) Setup() Setup { return c.setup }
 
+// Device returns the GPU ordinal the context is bound to (0 unless
+// BindDevice was called, matching cudaSetDevice's default).
+func (c *Context) Device() int { return c.device }
+
+// BindDevice models cudaSetDevice: subsequent allocations are placed on
+// (and tagged with) the given GPU ordinal. Negative ordinals panic.
+func (c *Context) BindDevice(device int) {
+	if device < 0 {
+		panic("cuda: negative device ordinal")
+	}
+	c.device = device
+}
+
 // Config returns the system configuration.
 func (c *Context) Config() SystemConfig { return c.cfg }
 
@@ -177,6 +198,7 @@ type Buffer struct {
 	Name string
 	Size int64
 
+	device    int // GPU ordinal the buffer was allocated on
 	managed   bool
 	addr      devmem.Addr
 	region    *uvm.Region
@@ -187,6 +209,9 @@ type Buffer struct {
 
 // Managed reports whether the buffer lives in unified memory.
 func (b *Buffer) Managed() bool { return b.managed }
+
+// Device returns the GPU ordinal the buffer was allocated on.
+func (b *Buffer) Device() int { return b.device }
 
 // Alloc allocates a buffer the way the context's setup dictates:
 // cudaMallocManaged under the managed setups, cudaMalloc otherwise.
@@ -207,7 +232,7 @@ func (c *Context) Malloc(name string, size int64) (*Buffer, error) {
 		return nil, err
 	}
 	b := c.newBuffer()
-	b.Name, b.Size, b.addr = name, size, addr
+	b.Name, b.Size, b.addr, b.device = name, size, addr, c.device
 	if err := c.placeHost(b); err != nil {
 		c.dev.Free(addr)
 		c.bufNext-- // b was the last buffer handed out
@@ -226,7 +251,7 @@ func (c *Context) MallocManaged(name string, size int64) (*Buffer, error) {
 		return nil, err
 	}
 	b := c.newBuffer()
-	b.Name, b.Size, b.managed, b.region = name, size, true, region
+	b.Name, b.Size, b.managed, b.region, b.device = name, size, true, region, c.device
 	if err := c.placeHost(b); err != nil {
 		c.mgr.Unregister(region)
 		c.bufNext-- // b was the last buffer handed out

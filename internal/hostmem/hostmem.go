@@ -44,6 +44,22 @@ func DefaultConfig() Config {
 	}
 }
 
+// PerChipBandwidthGBs is the sustained bandwidth of one host DRAM chip
+// in GB/s (one DDR4-3200 channel ≈ 25.6 GB/s, as on the paper's EPYC
+// host). It is a modelling constant rather than a Config field so that
+// adding multi-GPU topologies does not perturb existing profile
+// fingerprints or cache keys.
+const PerChipBandwidthGBs = 25.6
+
+// AggregateBandwidthBytesPerNs returns the host DRAM system's total
+// sustained bandwidth in bytes/ns (numerically GB/s): chips times the
+// per-chip channel rate. Point-to-point GPU interconnects (NVLink/C2C)
+// remove the shared-uplink bottleneck, which promotes this pool to the
+// binding shared resource for concurrent host<->device streams.
+func (c Config) AggregateBandwidthBytesPerNs() float64 {
+	return float64(c.Chips) * PerChipBandwidthGBs
+}
+
 // Segment is a portion of an allocation resident on one chip.
 type Segment struct {
 	Chip  int

@@ -42,6 +42,12 @@ func DefaultConfig() Config {
 // (numerically equal to GB/s; see sim.GBPerSec).
 func (c Config) BytesPerNs() float64 { return c.BandwidthGBs }
 
+// UplinkBytesPerNs returns the capacity of a shared PCIe-switch uplink
+// in bytes/ns. A switch fans several devices out of one host port, so
+// the uplink runs at a single link's rate no matter how many GPUs sit
+// behind it — the contention regime the multi-GPU topologies model.
+func (c Config) UplinkBytesPerNs() float64 { return c.BytesPerNs() }
+
 // ZeroCopyEfficiency is the link efficiency of SM-issued in-place
 // accesses to host-coherent memory (the uvm_zerocopy mode): warp-
 // coalesced line bursts achieve about what the fault path's driver-

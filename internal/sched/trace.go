@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChromeTrace exports the realized schedule as Chrome trace-event
+// JSON (the same {"traceEvents": [...]} object form internal/trace
+// emits), loadable in Perfetto or chrome://tracing. Each GPU gets three
+// timeline rows — host alloc/free work, fabric transfer, kernel — so
+// the inter-job overlap (or its absence) and contention-stretched
+// transfers are visible per device. Output is a deterministic function
+// of the Stats: spans sort by (start time, job submission order).
+func (st *Stats) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	bw.WriteString(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"uvmasim-sched"}}`)
+
+	const lanes = 3
+	laneName := [lanes]string{"host-alloc", "transfer", "kernel"}
+	for g := range st.GPUs {
+		for l := 0; l < lanes; l++ {
+			tid := g*lanes + l + 1
+			fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"gpu%d %s\"}}", tid, g, laneName[l])
+			fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}", tid, tid)
+		}
+	}
+
+	type span struct {
+		tid        int
+		name       string
+		start, dur float64
+	}
+	var spans []span
+	for i := range st.Jobs {
+		js := &st.Jobs[i]
+		base := js.GPU * lanes
+		add := func(lane int, name string, s, e float64) {
+			if e > s {
+				spans = append(spans, span{tid: base + lane + 1, name: name, start: s, dur: e - s})
+			}
+		}
+		label := "job " + strconv.Itoa(js.Job.ID)
+		add(0, label+" alloc", js.AllocStart, js.AllocEnd)
+		add(1, label+" transfer", js.TransferStart, js.TransferEnd)
+		add(2, label+" kernel", js.KernelStart, js.KernelEnd)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+
+	micros := func(ns float64) string { return strconv.FormatFloat(ns/1e3, 'f', 3, 64) }
+	for _, s := range spans {
+		fmt.Fprintf(bw, ",\n{\"name\":%q,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{}}",
+			s.name, s.tid, micros(s.start), micros(s.dur))
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -12,11 +12,14 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/profile"
+	"uvmasim/internal/sched"
+	"uvmasim/internal/topo"
 	"uvmasim/internal/workloads"
 )
 
@@ -27,11 +30,22 @@ import (
 // byte-for-byte on what any given option set produces.
 type FigureOptions struct {
 	Size        string            // -size override ("" = the figure's default class)
-	Jobs        int               // fig14 pipeline batch size
+	Jobs        int               // fig14/multigpu pipeline batch size
 	Workload    string            // compare-profiles workload
 	ProfilesCSV string            // -profiles list for compare-profiles ("" = all built-ins)
 	Profiles    []profile.Profile // pre-resolved compare-profiles set (overrides ProfilesCSV)
+	GPUs        string            // multigpu -gpus device-count list ("" = "1,2,4")
+	Topology    string            // multigpu -topology list ("" = "pcie-switch,nvlink")
+	Policy      string            // multigpu -policy placement ("" = "least-loaded")
 }
+
+// Multi-GPU defaults, applied by Figure when the corresponding option is
+// empty so CLI, server and merge agree byte-for-byte.
+const (
+	DefaultGPUs     = "1,2,4"
+	DefaultTopology = "pcie-switch,nvlink"
+	DefaultPolicy   = "least-loaded"
+)
 
 func (o FigureOptions) sizeOr(def workloads.Size) (workloads.Size, error) {
 	if o.Size == "" {
@@ -45,14 +59,14 @@ func (o FigureOptions) sizeOr(def workloads.Size) (workloads.Size, error) {
 var FigureNames = []string{
 	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "micro", "apps", "oversub",
-	"compare-profiles",
+	"multigpu", "compare-profiles",
 }
 
 // AllFigures is the expansion of the `all` pseudo-figure, in the order
 // the CLI's `all` subcommand runs them.
 var AllFigures = []string{
 	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "fig13", "fig14", "oversub",
+	"fig11", "fig12", "fig13", "fig14", "oversub", "multigpu",
 }
 
 // IsFigure reports whether cmd is one of FigureNames.
@@ -66,18 +80,21 @@ func IsFigure(cmd string) bool {
 }
 
 // Figure computes one figure artifact on r, returning both renderings:
-// the text table (including any advisory note lines the CLI prints in
-// text mode) and the JSON document. The caller picks one; neither
-// rendering is written anywhere here.
-func Figure(r *core.Runner, cmd string, opt FigureOptions) (string, core.FigureDoc, error) {
+// a thunk for the text table (including any advisory note lines the CLI
+// prints in text mode) and the JSON document. The text is lazy because
+// only the CLI's text mode wants it — the JSON server and `-json` runs
+// would otherwise pay the table formatting for every request and throw
+// it away. The thunk is pure over the computed study, so calling it
+// never simulates.
+func Figure(r *core.Runner, cmd string, opt FigureOptions) (func() string, core.FigureDoc, error) {
 	switch cmd {
 	case "table3":
-		return core.RenderTable3(), core.Table3Doc(), nil
+		return core.RenderTable3, core.Table3Doc(), nil
 
 	case "fig4", "fig5":
 		sizes := FeasibleSizes(r.Config)
 		if len(sizes) == 0 {
-			return "", core.FigureDoc{}, fmt.Errorf("%s: no size class fits the active profile's memory", cmd)
+			return nil, core.FigureDoc{}, fmt.Errorf("%s: no size class fits the active profile's memory", cmd)
 		}
 		note := ""
 		if len(sizes) < len(workloads.AllSizes) {
@@ -86,132 +103,137 @@ func Figure(r *core.Runner, cmd string, opt FigureOptions) (string, core.FigureD
 		}
 		study, err := r.Distributions(workloads.Micro(), sizes)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		if cmd == "fig4" {
-			return note + study.RenderFig4(), study.Fig4Doc(), nil
+			return func() string { return note + study.RenderFig4() }, study.Fig4Doc(), nil
 		}
-		return note + study.RenderFig5(), study.Fig5Doc(), nil
+		return func() string { return note + study.RenderFig5() }, study.Fig5Doc(), nil
 
 	case "fig6":
 		// Figure 6 is defined at the mega class (32 GB): on machines whose
 		// memory cannot host it, report the skip instead of failing.
 		if !r.Config.FitsFootprint(workloads.Mega.Footprint()) {
 			note := "fig6 skipped: the mega class (32 GB) does not fit the active profile's memory\n"
-			return note, core.FigureDoc{Figure: "fig6", Data: struct {
+			return func() string { return note }, core.FigureDoc{Figure: "fig6", Data: struct {
 				Skipped string `json:"skipped"`
 			}{"mega footprint exceeds profile memory"}}, nil
 		}
 		f, err := r.Fig6()
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return f.Render(), f.Doc(), nil
+		return f.Render, f.Doc(), nil
 
 	case "fig7":
-		var text strings.Builder
 		var studies []*core.BreakdownStudy
 		for _, size := range []workloads.Size{workloads.Large, workloads.Super} {
 			study, err := r.BreakdownComparison(workloads.Micro(), size)
 			if err != nil {
-				return "", core.FigureDoc{}, err
+				return nil, core.FigureDoc{}, err
 			}
 			studies = append(studies, study)
-			text.WriteString(study.Render("Figure 7"))
-			text.WriteString("\n")
 		}
-		return text.String(), core.Fig7Doc(studies), nil
+		text := func() string {
+			var b strings.Builder
+			for _, study := range studies {
+				b.WriteString(study.Render("Figure 7"))
+				b.WriteString("\n")
+			}
+			return b.String()
+		}
+		return text, core.Fig7Doc(studies), nil
 
 	case "fig8":
 		size, err := opt.sizeOr(workloads.Super)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		study, err := r.BreakdownComparison(workloads.Apps(), size)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return study.Render("Figure 8"), study.Doc("fig8"), nil
+		return func() string { return study.Render("Figure 8") }, study.Doc("fig8"), nil
 
 	case "fig9", "fig10":
 		size, err := opt.sizeOr(workloads.Super)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		study, err := r.CounterComparison([]string{"gemm", "lud", "yolov3"}, size)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		if cmd == "fig9" {
-			return study.RenderFig9(), study.Doc("fig9"), nil
+			return study.RenderFig9, study.Doc("fig9"), nil
 		}
-		return study.RenderFig10(), study.Doc("fig10"), nil
+		return study.RenderFig10, study.Doc("fig10"), nil
 
 	case "fig11":
 		size, err := opt.sizeOr(workloads.Large)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		sw, err := r.SweepBlocks(size, []int{4096, 2048, 1024, 512, 256, 128, 64, 32, 16})
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return sw.Render("Figure 11"), sw.Doc("fig11"), nil
+		return func() string { return sw.Render("Figure 11") }, sw.Doc("fig11"), nil
 
 	case "fig12":
 		size, err := opt.sizeOr(workloads.Large)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		sw, err := r.SweepThreads(size, []int{1024, 512, 256, 128, 64, 32})
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return sw.Render("Figure 12"), sw.Doc("fig12"), nil
+		return func() string { return sw.Render("Figure 12") }, sw.Doc("fig12"), nil
 
 	case "fig13":
 		size, err := opt.sizeOr(workloads.Large)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		sw, err := r.SweepShared(size, []float64{2, 4, 8, 16, 32, 64, 128})
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return sw.Render("Figure 13"), sw.Doc("fig13"), nil
+		return func() string { return sw.Render("Figure 13") }, sw.Doc("fig13"), nil
 
 	case "fig14":
 		size, err := opt.sizeOr(workloads.Super)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		res, err := r.MultiJob("vector_seq", cuda.UVMPrefetchAsync, size, opt.Jobs)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return res.Render(), res.Doc(), nil
+		return res.Render, res.Doc(), nil
 
 	case "micro":
 		size, err := opt.sizeOr(workloads.Super)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		study, err := r.BreakdownComparison(workloads.Micro(), size)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return study.Render("Microbenchmarks (§4.1.1)"), study.Doc("micro"), nil
+		return func() string { return study.Render("Microbenchmarks (§4.1.1)") }, study.Doc("micro"), nil
 
 	case "apps":
 		size, err := opt.sizeOr(workloads.Super)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		study, err := r.BreakdownComparison(workloads.Apps(), size)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return study.Render("Real-world applications (§4.1.2)"), study.Doc("apps"), nil
+		return func() string { return study.Render("Real-world applications (§4.1.2)") }, study.Doc("apps"), nil
 
 	case "oversub":
 		// Extension experiment: UVM oversubscription (see §2.1's cited
@@ -219,29 +241,89 @@ func Figure(r *core.Runner, cmd string, opt FigureOptions) (string, core.FigureD
 		// grid dense around the cliff (cheap now that eviction is O(1)).
 		study, err := r.Oversubscription(cuda.UVMPrefetch, core.DefaultOversubRatios, 2)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return study.Render(), study.Doc(), nil
+		return study.Render, study.Doc(), nil
+
+	case "multigpu":
+		// Tentpole experiment: the Figure 14 pipeline headroom under real
+		// multi-tenant contention. Same workload/setup as fig14, scheduled
+		// over a (topology x GPU count) grid.
+		size, err := opt.sizeOr(workloads.Super)
+		if err != nil {
+			return nil, core.FigureDoc{}, err
+		}
+		gpus, topos, policy, err := ResolveMultiGPU(opt)
+		if err != nil {
+			return nil, core.FigureDoc{}, err
+		}
+		study, err := r.MultiGPU("vector_seq", cuda.UVMPrefetchAsync, size, opt.Jobs, gpus, topos, policy)
+		if err != nil {
+			return nil, core.FigureDoc{}, err
+		}
+		return study.Render, study.Doc(), nil
 
 	case "compare-profiles":
 		size, err := opt.sizeOr(workloads.Large)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
 		ps := opt.Profiles
 		if ps == nil {
 			ps, err = ResolveProfiles(opt.ProfilesCSV)
 			if err != nil {
-				return "", core.FigureDoc{}, err
+				return nil, core.FigureDoc{}, err
 			}
 		}
 		study, err := r.CompareProfiles(ps, opt.Workload, size)
 		if err != nil {
-			return "", core.FigureDoc{}, err
+			return nil, core.FigureDoc{}, err
 		}
-		return study.Render(), study.Doc(), nil
+		return study.Render, study.Doc(), nil
 	}
-	return "", core.FigureDoc{}, fmt.Errorf("unknown figure %q", cmd)
+	return nil, core.FigureDoc{}, fmt.Errorf("unknown figure %q", cmd)
+}
+
+// ResolveMultiGPU normalizes the multigpu grid options: empty values
+// take the package defaults, lists parse with validation and nearest
+// hints. Shared by Figure and the CLI trace path.
+func ResolveMultiGPU(opt FigureOptions) ([]int, []topo.Kind, sched.Policy, error) {
+	gpusCSV := opt.GPUs
+	if gpusCSV == "" {
+		gpusCSV = DefaultGPUs
+	}
+	var gpus []int
+	for _, part := range strings.Split(gpusCSV, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, nil, 0, fmt.Errorf("-gpus entry %q is not a positive device count", part)
+		}
+		gpus = append(gpus, n)
+	}
+	if len(gpus) == 0 {
+		return nil, nil, 0, fmt.Errorf("-gpus names no device counts")
+	}
+	topoCSV := opt.Topology
+	if topoCSV == "" {
+		topoCSV = DefaultTopology
+	}
+	topos, err := topo.ParseKindList(topoCSV)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	policyName := opt.Policy
+	if policyName == "" {
+		policyName = DefaultPolicy
+	}
+	policy, err := sched.ParsePolicy(policyName)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return gpus, topos, policy, nil
 }
 
 // FeasibleSizes filters the paper's size classes to those the active

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -9,7 +11,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -300,23 +301,36 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		rr.IterParallelism = req.ItPar
 	}
 
-	var body strings.Builder
+	// Encode into a pooled buffer: a json.Encoder with the CLI's indent
+	// writes the same bytes core.RenderJSON would (MarshalIndent plus a
+	// trailing newline per document) without the per-figure []byte →
+	// string → builder copies, and the buffer's backing array is reused
+	// across requests. Nothing reaches the ResponseWriter until every
+	// figure succeeded, so errors still get a clean error document.
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
 	for _, fig := range req.Figures {
 		_, doc, err := Figure(&rr, fig, req.Opt)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		rendered, err := core.RenderJSON(doc)
-		if err != nil {
+		if err := enc.Encode(doc); err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		body.WriteString(rendered)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprint(w, body.String())
+	w.Write(buf.Bytes())
 }
+
+// bodyBufPool recycles response-body buffers across experiment
+// requests; a figure-all document is a few hundred KiB, well worth not
+// re-growing from scratch on every cold request.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // handleMetrics serves the Prometheus text exposition, refreshing the
 // scrape-time process gauges first.

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"uvmasim/internal/core"
 	"uvmasim/internal/cuda"
 	"uvmasim/internal/nearest"
 	"uvmasim/internal/profile"
+	"uvmasim/internal/sched"
+	"uvmasim/internal/topo"
 	"uvmasim/internal/workloads"
 )
 
@@ -44,12 +47,18 @@ type Spec struct {
 	// request (0 = the server's -itpar setting). Like -par it cannot
 	// change any response byte — it only trades latency for width.
 	ItPar int `json:"itpar,omitempty"`
+	// GPUs, Topology and Policy configure the multigpu grid, mirroring
+	// the -gpus/-topology/-policy CLI flags (defaults "1,2,4",
+	// "pcie-switch,nvlink", "least-loaded").
+	GPUs     []int    `json:"gpus,omitempty"`
+	Topology []string `json:"topology,omitempty"`
+	Policy   string   `json:"policy,omitempty"`
 }
 
 // specFields lists the accepted JSON keys, for typo suggestions.
 var specFields = []string{
 	"figure", "figures", "profile", "profiles", "workload", "setups",
-	"size", "iters", "seed", "jobs", "itpar",
+	"size", "iters", "seed", "jobs", "itpar", "gpus", "topology", "policy",
 }
 
 // ParseSpec decodes and validates a request body. Unknown fields and
@@ -144,6 +153,29 @@ func (s *Spec) resolve(defaultProfile profile.Profile) (*Request, error) {
 			return nil, err
 		}
 		req.Opt.Workload = s.Workload
+	}
+	if len(s.GPUs) > 0 {
+		parts := make([]string, len(s.GPUs))
+		for i, g := range s.GPUs {
+			if g < 1 {
+				return nil, fmt.Errorf("gpus entries must be positive device counts, got %d", g)
+			}
+			parts[i] = strconv.Itoa(g)
+		}
+		req.Opt.GPUs = strings.Join(parts, ",")
+	}
+	if len(s.Topology) > 0 {
+		csv := strings.Join(s.Topology, ",")
+		if _, err := topo.ParseKindList(csv); err != nil {
+			return nil, err
+		}
+		req.Opt.Topology = csv
+	}
+	if s.Policy != "" {
+		if _, err := sched.ParsePolicy(s.Policy); err != nil {
+			return nil, err
+		}
+		req.Opt.Policy = s.Policy
 	}
 	if len(s.Setups) > 0 {
 		setups, err := cuda.ParseSetupList(strings.Join(s.Setups, ","))
